@@ -1,0 +1,23 @@
+"""Baseline distributed-ML runtimes the paper compares against (§5.1).
+
+* :mod:`repro.baselines.multi_controller` — JAX-style multi-controller
+  SPMD: per-host Python dispatch over PCIe, gang collectives over ICI.
+  The headline comparator (Figures 5, 6, 8; Table 1).
+* :mod:`repro.baselines.tf1` — TensorFlow-v1-style single controller:
+  fully materialized per-shard graphs, centralized control-edge barrier,
+  data returned to the client.
+* :mod:`repro.baselines.ray_like` — Ray-style actors: per-call actor RPC,
+  host-DRAM-only object store (device results copied out over PCIe).
+
+The multi-controller baseline runs on the same simulated hardware as
+Pathways.  TF1 and Ray are *structured cost models* driven through the
+same simulator (the paper itself treats them as micro-benchmark
+comparators on different stacks/hardware); every constant lives in
+:class:`repro.config.SystemConfig`.
+"""
+
+from repro.baselines.multi_controller import MultiControllerJax
+from repro.baselines.tf1 import TfOneRuntime
+from repro.baselines.ray_like import RayLikeRuntime
+
+__all__ = ["MultiControllerJax", "RayLikeRuntime", "TfOneRuntime"]

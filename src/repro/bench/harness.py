@@ -1,0 +1,85 @@
+"""Formatting helpers so every bench prints the paper's rows/series."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Iterable, Optional, Sequence
+
+__all__ = ["Series", "Table", "geometric_range"]
+
+
+def geometric_range(start: int, stop: int, factor: int = 2) -> list[int]:
+    """[start, start*factor, ...] up to and including stop."""
+    if start < 1 or factor < 2:
+        raise ValueError("start >= 1 and factor >= 2 required")
+    out = []
+    v = start
+    while v <= stop:
+        out.append(v)
+        v *= factor
+    return out
+
+
+@dataclass
+class Table:
+    """A paper-style table printed to stdout by a bench."""
+
+    title: str
+    columns: Sequence[str]
+    rows: list[Sequence[Any]] = field(default_factory=list)
+
+    def add_row(self, *values: Any) -> None:
+        if len(values) != len(self.columns):
+            raise ValueError(
+                f"row has {len(values)} cells for {len(self.columns)} columns"
+            )
+        self.rows.append(values)
+
+    def render(self) -> str:
+        def fmt(v: Any) -> str:
+            if isinstance(v, bool):
+                return str(v)
+            if isinstance(v, float):
+                if abs(v) >= 1000:
+                    return f"{v:,.1f}"
+                return f"{v:.3g}"
+            if isinstance(v, int) and abs(v) >= 10_000:
+                return f"{v:,d}"
+            return str(v)
+
+        cells = [[fmt(v) for v in row] for row in self.rows]
+        widths = [
+            max(len(str(col)), *(len(r[i]) for r in cells)) if cells else len(str(col))
+            for i, col in enumerate(self.columns)
+        ]
+        lines = [f"== {self.title} =="]
+        header = " | ".join(str(c).ljust(w) for c, w in zip(self.columns, widths))
+        lines.append(header)
+        lines.append("-+-".join("-" * w for w in widths))
+        for row in cells:
+            lines.append(" | ".join(c.rjust(w) for c, w in zip(row, widths)))
+        return "\n".join(lines)
+
+    def show(self) -> None:
+        print("\n" + self.render())
+
+
+@dataclass
+class Series:
+    """One figure line: (x, y) pairs with a label."""
+
+    label: str
+    points: list[tuple[float, float]] = field(default_factory=list)
+
+    def add(self, x: float, y: float) -> None:
+        self.points.append((x, y))
+
+    def y_at(self, x: float) -> float:
+        for px, py in self.points:
+            if px == x:
+                return py
+        raise KeyError(f"{self.label}: no point at x={x}")
+
+    def render(self) -> str:
+        pts = "  ".join(f"({x:g}, {y:,.0f})" for x, y in self.points)
+        return f"{self.label}: {pts}"

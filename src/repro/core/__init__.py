@@ -1,0 +1,45 @@
+"""Pathways core: the paper's primary contribution.
+
+A single-controller runtime that combines:
+
+* a **resource manager** handing out virtual device slices over islands
+  (:mod:`repro.core.resource_manager`, :mod:`repro.core.virtual_device`);
+* a **client** that traces user programs into compact sharded dataflow
+  graphs and lowers them through an IR (:mod:`repro.core.client`,
+  :mod:`repro.core.program`, :mod:`repro.core.ir`);
+* a per-island **centralized gang scheduler** with pluggable policies
+  (FIFO, proportional share) (:mod:`repro.core.scheduler`);
+* **parallel asynchronous dispatch** of regular compiled functions, with
+  a sequential fallback (:mod:`repro.core.dispatch`);
+* per-device **executors** and a sharded **object store** with HBM
+  tracking, reference counting, and back-pressure
+  (:mod:`repro.core.executor`, :mod:`repro.core.object_store`).
+
+Entry point: :class:`repro.core.system.PathwaysSystem`.
+"""
+
+from repro.core.futures import PathwaysFuture
+from repro.core.object_store import ObjectHandle, ShardedObjectStore
+from repro.core.placement import DeviceGroup
+from repro.core.program import PathwaysProgram, TracedTensor
+from repro.core.resource_manager import ResourceManager
+from repro.core.scheduler import FifoPolicy, IslandScheduler, ProportionalSharePolicy
+from repro.core.system import DispatchMode, PathwaysSystem
+from repro.core.virtual_device import VirtualDeviceSet, VirtualSlice
+
+__all__ = [
+    "DeviceGroup",
+    "DispatchMode",
+    "FifoPolicy",
+    "IslandScheduler",
+    "ObjectHandle",
+    "PathwaysFuture",
+    "PathwaysProgram",
+    "PathwaysSystem",
+    "ProportionalSharePolicy",
+    "ResourceManager",
+    "ShardedObjectStore",
+    "TracedTensor",
+    "VirtualDeviceSet",
+    "VirtualSlice",
+]

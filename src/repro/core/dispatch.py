@@ -1,0 +1,363 @@
+"""Sequential vs. parallel asynchronous dispatch (paper §4.5, Figure 4).
+
+A :class:`ProgramExecution` drives one run of a lowered program:
+
+* **client/controller work** — per-program fan-out on the submitting
+  client's serial controller thread (the single-controller cost that
+  Figure 6 quantifies);
+* **host-side prep** — executor preparation per node;
+* **gang-scheduled enqueue** — per-island ordered kernel appends;
+* **data movement** — ICI/DCN transfers between dependent nodes, gating
+  successor kernels (head-of-line on the non-preemptible devices);
+* **logical values** — real numpy results computed alongside the timing
+  simulation.
+
+In ``PARALLEL`` mode, prep for *all* regular nodes runs concurrently and
+the controller sends a single subgraph message per island.  In
+``SEQUENTIAL`` mode (the Figure 4a strawman and the fallback for
+irregular nodes), the controller walks the graph: node *k+1*'s dispatch
+begins only after node *k*'s enqueue is acknowledged and its output
+handles have travelled back over DCN.
+"""
+
+from __future__ import annotations
+
+import itertools
+from enum import Enum
+from typing import Generator, Optional, TYPE_CHECKING
+
+import numpy as np
+
+from repro.core.executor import NodeExecutor
+from repro.core.futures import PathwaysFuture
+from repro.core.ir import LowLevelNode, LowLevelProgram, TransferRoute
+from repro.core.object_store import MemorySpace
+from repro.core.program import unflatten
+from repro.sim import Event
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.core.system import PathwaysSystem
+    from repro.core.client import PathwaysClient
+
+__all__ = ["DispatchMode", "ProgramExecution"]
+
+_exec_ids = itertools.count(1)
+
+
+class DispatchMode(Enum):
+    PARALLEL = "parallel"
+    SEQUENTIAL = "sequential"
+
+
+class ProgramExecution:
+    """One run of a lowered program on behalf of a client."""
+
+    def __init__(
+        self,
+        system: "PathwaysSystem",
+        client: "PathwaysClient",
+        low: LowLevelProgram,
+        args: tuple[np.ndarray, ...],
+        mode: DispatchMode = DispatchMode.PARALLEL,
+        compute_values: bool = True,
+    ):
+        self.system = system
+        self.sim = system.sim
+        self.config = system.config
+        self.client = client
+        self.low = low
+        self.args = args
+        self.mode = mode
+        self.compute_values = compute_values
+        self.exec_id = next(_exec_ids)
+        self.name = f"{low.name}#{self.exec_id}"
+
+        #: Fires once the controller has enqueued everything and holds
+        #: the output handles (what an OpByOp client waits for).
+        self.handles_ready: Event = self.sim.event(name=f"handles:{self.name}")
+        #: Per-result futures (logical buffers in the object store).
+        self.result_futures: list[PathwaysFuture] = []
+        self._executors: dict[int, NodeExecutor] = {}
+        self._node_values: dict[int, tuple[np.ndarray, ...]] = {}
+        self._node_done: dict[int, Event] = {}
+        self._gates: dict[int, Event] = {}
+
+        for node in low.nodes:
+            ex = NodeExecutor(
+                self.sim,
+                self.config,
+                system.object_store,
+                node,
+                owner=client.name,
+                program=low.name,
+            )
+            self._executors[node.node_id] = ex
+            self._node_done[node.node_id] = ex.all_kernels_done
+
+        src_results = low.source.results
+        for node_id, out_index in src_results:
+            handle = self._executors[node_id].output_handle  # None until prep
+            fut = PathwaysFuture(
+                self.sim,
+                handle if handle is not None else _placeholder_handle(node_id),
+                name=f"result:{self.name}[{node_id}.{out_index}]",
+            )
+            self.result_futures.append(fut)
+
+    # -- public --------------------------------------------------------------
+    @property
+    def done(self) -> Event:
+        return self.sim.all_of(list(self._node_done.values()))
+
+    def results(self):
+        """Logical results, repacked into the user's return structure."""
+        flat = [f.value() for f in self.result_futures]
+        return unflatten(self.low.source.result_treedef, flat)
+
+    # -- the controller-side driver process -----------------------------------
+    def run(self) -> Generator:
+        low = self.low
+        cfg = self.config
+        n_nodes = len(low.nodes)
+        hosts = low.total_hosts_logical
+
+        # Parallel scheduling is only sound for regular compiled
+        # functions; with any irregular node the controller cannot plan
+        # ahead and falls back to the traditional model (paper §4.5).
+        if self.mode is DispatchMode.PARALLEL and any(
+            not node.computation.is_regular for node in low.nodes
+        ):
+            self.mode = DispatchMode.SEQUENTIAL
+
+        yield self.client.controller.request()
+        try:
+            if self.mode is DispatchMode.PARALLEL:
+                # Controller fan-out work, serialized on this client's
+                # controller thread: one planning pass over the whole
+                # subgraph.  This is the quantity Figure 6 measures.
+                controller_us = (
+                    cfg.coordinator_base_us
+                    + cfg.coordinator_work_per_host_us * hosts
+                    + cfg.cpp_dispatch_us * n_nodes
+                    + cfg.coordinator_node_per_host_us * n_nodes * hosts
+                )
+                yield self.sim.timeout(controller_us)
+                yield from self._dispatch_parallel()
+            else:
+                yield from self._dispatch_sequential()
+        finally:
+            self.client.controller.release()
+        self.system.programs_dispatched += 1
+        self.handles_ready.succeed(None)
+
+    # -- parallel asynchronous dispatch ----------------------------------------
+    def _dispatch_parallel(self) -> Generator:
+        # One subgraph-describing message per island (minimizes traffic,
+        # paper §4.5); the controller does not wait for completions.
+        yield self.sim.timeout(self.config.dcn_latency_us)
+        self._wire_dataflow()
+        procs = [
+            self.sim.process(self._run_node(node), name=f"node:{node.label}")
+            for node in self.low.nodes
+        ]
+        # The controller thread is released as soon as the subgraph
+        # message is out; node processes run island-side.
+        return
+
+    def _run_node(self, node: LowLevelNode) -> Generator:
+        ex = self._executors[node.node_id]
+        yield self.sim.process(ex.prep(), name=f"prep:{node.label}")
+        self._attach_result_handles(node.node_id)
+        scheduler = self.system.scheduler_for(node.group.island)
+        req = scheduler.submit(
+            client=self.client.name,
+            program=self.low.name,
+            node_label=f"{self.name}:{node.label}",
+            cost_us=node.computation.compute_time_us(self.config),
+            device_ids=tuple(d.device_id for d in node.group.devices),
+        )
+        yield req.grant
+        gate = self._gates.get(node.node_id)
+        ex.enqueue(gate=gate)
+        req.enqueued_ack.succeed(None)
+        ex.all_kernels_done.add_callback(lambda ev: scheduler.complete(req))
+        # PCIe descriptor writes happen after the order is fixed.
+        pcie = ex.pcie_cost_us()
+        if pcie > 0:
+            yield self.sim.timeout(pcie)
+
+    # -- sequential dispatch (Figure 4a) ---------------------------------------
+    def _dispatch_sequential(self) -> Generator:
+        """The traditional single-controller model: every node is a
+        standalone dispatch.  The controller cannot plan ahead (it
+        behaves as if resource requirements only become known when the
+        predecessor finishes), so per node it pays a full planning pass,
+        ships the dispatch over DCN, waits for prep, enqueue, *and
+        completion*, and only then turns to the next node."""
+        self._wire_dataflow()
+        cfg = self.config
+        for node in self.low.nodes:
+            ex = self._executors[node.node_id]
+            controller_us = (
+                cfg.coordinator_base_us
+                + cfg.coordinator_work_per_host_us * node.group.n_hosts_logical
+                + cfg.cpp_dispatch_us
+            )
+            yield self.sim.timeout(controller_us)
+            yield self.sim.timeout(cfg.dcn_latency_us)  # controller -> host
+            yield self.sim.process(ex.prep(), name=f"prep:{node.label}")
+            self._attach_result_handles(node.node_id)
+            scheduler = self.system.scheduler_for(node.group.island)
+            req = scheduler.submit(
+                client=self.client.name,
+                program=self.low.name,
+                node_label=f"{self.name}:{node.label}",
+                cost_us=node.computation.compute_time_us(self.config),
+                device_ids=tuple(d.device_id for d in node.group.devices),
+            )
+            yield req.grant
+            gate = self._gates.get(node.node_id)
+            ex.enqueue(gate=gate)
+            req.enqueued_ack.succeed(None)
+            ex.all_kernels_done.add_callback(lambda ev, r=req, s=scheduler: s.complete(r))
+            yield self.sim.timeout(ex.pcie_cost_us())
+            # Stall: the controller waits for the computation itself (its
+            # outputs define the "unknown" successor requirements) plus
+            # the handle round trip.
+            yield ex.all_kernels_done
+            yield self.sim.timeout(cfg.dcn_latency_us)  # handles -> controller
+            if cfg.sequential_node_overhead_us > 0:
+                yield self.sim.timeout(cfg.sequential_node_overhead_us)
+
+    # -- dataflow wiring ----------------------------------------------------
+    def _wire_dataflow(self) -> None:
+        """Create gates and transfer processes for inter-node edges."""
+        for node in self.low.nodes:
+            if node.incoming:
+                self._gates[node.node_id] = self.sim.event(
+                    name=f"gate:{self.name}:{node.label}"
+                )
+        for node in self.low.nodes:
+            if not node.incoming:
+                continue
+            self.sim.process(
+                self._feed_node(node), name=f"xfer:{self.name}:{node.label}"
+            )
+        # Arg values seed the logical evaluation.
+        if self.compute_values:
+            arg_nodes = self.low.source.arg_nodes
+            for arg_node, value in zip(arg_nodes, self.args):
+                self._node_values[arg_node] = (np.asarray(value),)
+        # Node completion triggers value computation + refcount release.
+        for node in self.low.nodes:
+            self._node_done[node.node_id].add_callback(
+                lambda ev, n=node: self._on_node_done(n)
+            )
+
+    def _feed_node(self, node: LowLevelNode) -> Generator:
+        """Wait for producers, move data, then open the node's gate."""
+        cfg = self.config
+        transfer_events = []
+        for spec in node.incoming:
+            producer_done = self._node_done[spec.src_node]
+            transfer_events.append(
+                self.sim.process(
+                    self._one_transfer(spec, producer_done, node),
+                    name=f"move:{spec.src_node}->{spec.dst_node}",
+                )
+            )
+        yield self.sim.all_of(transfer_events)
+        self._gates[node.node_id].succeed(None)
+
+    def _one_transfer(self, spec, producer_done: Event, node: LowLevelNode) -> Generator:
+        yield producer_done
+        cfg = self.config
+        if spec.route is TransferRoute.LOCAL or spec.nbytes == 0:
+            return
+        if spec.route is TransferRoute.ICI:
+            src_group = self.low.node(spec.src_node).group
+            island = src_group.island
+            # Per-shard slice moves in parallel across shard pairs; the
+            # wire time is per-shard bytes over one link path.
+            per_shard = max(1, spec.nbytes // max(1, src_group.n_logical))
+            src_dev = src_group.devices[0]
+            dst_dev = node.group.devices[0]
+            yield self.sim.timeout(island.ici.transfer_time_us(src_dev, dst_dev, per_shard))
+        else:  # DCN
+            src_group = self.low.node(spec.src_node).group
+            per_host = max(1, spec.nbytes // max(1, src_group.n_hosts_logical))
+            src_host = src_group.hosts[0]
+            dst_host = node.group.hosts[0]
+            yield self.system.cluster.dcn.send(src_host, dst_host, per_host)
+
+    # -- completion bookkeeping ----------------------------------------------
+    def _on_node_done(self, node: LowLevelNode) -> None:
+        self.system.computations_executed += 1
+        if self.compute_values and node.computation.fn is not None:
+            args = []
+            graph = self.low.source.graph
+            ok = True
+            for edge in sorted(graph.in_edges(node.node_id), key=lambda e: e.dst_input):
+                vals = self._node_values.get(edge.src)
+                if vals is None:
+                    ok = False
+                    break
+                args.append(vals[edge.src_output])
+            if ok:
+                self._node_values[node.node_id] = node.computation.execute(*args)
+        # Resolve any result futures fed by this node.
+        for fut, (src, out_idx) in zip(self.result_futures, self.low.source.results):
+            if src == node.node_id and not fut.is_ready:
+                vals = self._node_values.get(node.node_id)
+                fut.resolve(vals[out_idx] if vals is not None else None)
+        # Intermediate outputs: drop the executor's reference once every
+        # consumer has finished.
+        consumers = [
+            n for n in self.low.nodes if node.node_id in n.predecessors
+        ]
+        handle = self._executors[node.node_id].output_handle
+        if handle is None:
+            return
+        feeds_result = any(src == node.node_id for src, _ in self.low.source.results)
+        if not consumers and not feeds_result:
+            self.system.object_store.release(handle)
+        elif consumers:
+            remaining = self.sim.all_of(
+                [self._node_done[c.node_id] for c in consumers]
+            )
+            remaining.add_callback(
+                lambda ev, h=handle, fr=feeds_result: (
+                    None if fr else self.system.object_store.release(h)
+                )
+            )
+
+    def _attach_result_handles(self, node_id: int) -> None:
+        """Point result futures at the now-allocated output handles."""
+        handle = self._executors[node_id].output_handle
+        if handle is None:
+            return
+        for fut, (src, _) in zip(self.result_futures, self.low.source.results):
+            if src == node_id:
+                fut.handle = handle
+
+    def release_results(self) -> None:
+        """Client drops its result references (driver loops call this)."""
+        released: set[int] = set()
+        for fut in self.result_futures:
+            h = fut.handle
+            if h is not None and not h.freed and h.object_id not in released:
+                released.add(h.object_id)
+                self.system.object_store.release(h)
+
+
+def _placeholder_handle(node_id: int):
+    from repro.core.object_store import MemorySpace, ObjectHandle
+
+    return ObjectHandle(
+        object_id=-node_id,
+        nbytes_total=0,
+        nbytes_per_shard=0,
+        n_shards=1,
+        space=MemorySpace.HOST_DRAM,
+        owner="placeholder",
+    )

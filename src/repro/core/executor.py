@@ -1,0 +1,134 @@
+"""Per-shard executors: host-side prep and kernel enqueue (paper Fig. 3).
+
+For one low-level node, the executor layer
+
+1. performs *prep* on every host covering the node's device group —
+   serial CPU work (launch descriptors, transfer setup) plus output
+   buffer allocation in HBM (the back-pressure point);
+2. after the gang scheduler grants the node's turn, *enqueues* the
+   kernels on each device over PCIe, optionally gated on the node's
+   input transfers.
+
+Prep and enqueue are deliberately separate steps: parallel asynchronous
+dispatch runs prep for many nodes concurrently and only serializes the
+(cheap) enqueues through the scheduler's global order.
+"""
+
+from __future__ import annotations
+
+from typing import Generator, Optional
+
+from repro.config import SystemConfig
+from repro.core.ir import LowLevelNode
+from repro.core.object_store import MemorySpace, ObjectHandle, ShardedObjectStore
+from repro.hw.device import CollectiveRendezvous, Kernel
+from repro.sim import Event, Simulator
+
+__all__ = ["NodeExecutor"]
+
+
+class NodeExecutor:
+    """Executes one low-level node instance on its device group."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        config: SystemConfig,
+        store: ShardedObjectStore,
+        node: LowLevelNode,
+        owner: str,
+        program: str = "",
+    ):
+        self.sim = sim
+        self.config = config
+        self.store = store
+        self.node = node
+        self.owner = owner
+        self.program = program or owner
+        self.output_handle: Optional[ObjectHandle] = None
+        self.prep_done: Event = sim.event(name=f"prep:{node.label}")
+        self.all_kernels_done: Event = sim.event(name=f"exec:{node.label}")
+
+    # -- step 1: host-side preparation ----------------------------------------
+    def prep(self) -> Generator:
+        """Host work + output allocation on all hosts, in parallel."""
+        group = self.node.group
+        fn = self.node.computation
+        per_host_us = self.config.executor_prep_us + self.config.host_launch_work_us
+
+        host_events = []
+        for host in group.hosts:
+            host_events.append(
+                self.sim.process(
+                    host.cpu.using(self.sim, per_host_us),
+                    name=f"prep:{self.node.label}@{host.name}",
+                )
+            )
+        # Output buffers: per-shard bytes reserved on every (simulated)
+        # device of the group — this is where HBM back-pressure bites.
+        nbytes_shard = fn.output_nbytes_per_shard()
+        handle, alloc_ready = self.store.allocate(
+            nbytes_per_shard=nbytes_shard,
+            n_shards=group.n_logical,
+            owner=self.owner,
+            group=group,
+            space=MemorySpace.HBM,
+        )
+        self.output_handle = handle
+        yield self.sim.all_of(host_events + [alloc_ready])
+        self.prep_done.succeed(None)
+
+    # -- step 2: enqueue (called under the scheduler's grant) ----------------
+    def enqueue(self, gate: Optional[Event] = None) -> list[Kernel]:
+        """Append this node's kernels to every device queue, atomically.
+
+        Must be called while holding the island scheduler's grant; the
+        appends take zero simulated time, which is what makes the
+        scheduler's global order authoritative.  Returns the kernels.
+        """
+        group = self.node.group
+        fn = self.node.computation
+        compute_us = fn.compute_time_us(self.config)
+        collective = None
+        if fn.collective is not None or len(group.devices) > 1 or group.n_logical > 1:
+            # Gang execution: all shards synchronize; collective wire time
+            # is computed from the *logical* gang width.
+            if fn.collective is not None:
+                duration = fn.collective.count * group.island.ici.allreduce_time_us(
+                    group.n_logical, fn.collective.nbytes
+                )
+            else:
+                duration = 0.0  # pure gang sync, no wire time
+            collective = CollectiveRendezvous(
+                self.sim,
+                participants=len(group.devices),
+                duration_us=duration,
+                name=f"gang:{self.node.label}",
+            )
+        kernels = []
+        for dev in group.devices:
+            kernel = Kernel(
+                self.sim,
+                duration_us=compute_us,
+                collective=collective,
+                tag=self.node.label,
+                program=self.program,
+                gate=gate,
+            )
+            dev.enqueue(kernel)
+            kernels.append(kernel)
+        self.sim.all_of([k.done for k in kernels]).add_callback(
+            lambda ev: self.all_kernels_done.succeed(None)
+        )
+        return kernels
+
+    # -- PCIe cost of the enqueues (charged after the grant is released) -----
+    def pcie_cost_us(self) -> float:
+        """Per-host PCIe time for this node's launches.
+
+        The executor writes one launch descriptor per device over PCIe;
+        descriptors for the devices of one host go back to back.
+        """
+        group = self.node.group
+        per_host_devices = max(1, len(group.devices) // max(1, len(group.hosts)))
+        return self.config.pcie_latency_us * per_host_devices

@@ -1,0 +1,178 @@
+"""Pathways IR and lowering passes (paper §4.2).
+
+The client builds a device-location-agnostic representation of a traced
+program, then lowers it through passes into a low-level program that
+names physical device groups and includes explicit data-transfer
+operations between computation shards:
+
+1. ``assign_placements`` — bind every compute node to a physical device
+   group (virtual slices are resolved via the resource manager).
+2. ``insert_transfers`` — for every compute->compute edge, decide the
+   route (intra-group / ICI within an island / DCN across islands) and
+   bytes moved, inserting scatter/gather resharding cost when shard
+   counts differ.
+3. ``finalize`` — topologically ordered low-level node list.
+
+The lowered program is cached and re-run cheaply; if the resource
+manager rebinds a virtual slice, the cache key (placement epoch)
+changes and the program is re-lowered.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Optional
+
+from repro.core.placement import DeviceGroup
+from repro.core.program import PathwaysProgram
+from repro.core.virtual_device import VirtualSlice
+from repro.plaque.graph import ShardedGraph, ShardedNode
+from repro.xla.computation import CompiledFunction
+from repro.xla.sharding import Sharding
+
+__all__ = ["LowLevelNode", "LowLevelProgram", "TransferRoute", "TransferSpec", "lower"]
+
+
+class TransferRoute(Enum):
+    LOCAL = "local"   # same device group: no data movement
+    ICI = "ici"       # different groups, same island
+    DCN = "dcn"       # across islands
+
+
+@dataclass(frozen=True)
+class TransferSpec:
+    """One inter-node data movement inserted by lowering."""
+
+    src_node: int
+    dst_node: int
+    route: TransferRoute
+    nbytes: int            # total logical bytes moved
+    src_output: int = 0
+    dst_input: int = 0
+
+
+@dataclass
+class LowLevelNode:
+    """A compute node bound to physical devices, with its input moves."""
+
+    node_id: int
+    computation: CompiledFunction
+    group: DeviceGroup
+    incoming: list[TransferSpec] = field(default_factory=list)
+    predecessors: list[int] = field(default_factory=list)
+
+    @property
+    def label(self) -> str:
+        return self.computation.name
+
+
+@dataclass
+class LowLevelProgram:
+    """The executable form: ordered nodes + transfer plan."""
+
+    name: str
+    source: PathwaysProgram
+    nodes: list[LowLevelNode]            # topological order
+    islands: list[int]                   # island ids involved
+    total_hosts_logical: int
+
+    def node(self, node_id: int) -> LowLevelNode:
+        for n in self.nodes:
+            if n.node_id == node_id:
+                return n
+        raise KeyError(f"no low-level node {node_id}")
+
+
+def _edge_bytes(src_fn: CompiledFunction, out_index: int) -> int:
+    spec = src_fn.out_specs[out_index]
+    return spec.nbytes
+
+
+def lower(
+    program: PathwaysProgram,
+    default_slice: Optional[VirtualSlice] = None,
+) -> LowLevelProgram:
+    """Run all lowering passes over a traced program."""
+    graph = program.graph
+
+    # Pass 1: placements -> device groups.
+    groups: dict[int, DeviceGroup] = {}
+    for node in graph.compute_nodes():
+        vslice = program.placements.get(node.node_id, default_slice)
+        if vslice is None:
+            raise ValueError(
+                f"{program.name}: node {node.label} has no placement and no "
+                "default slice was provided"
+            )
+        groups[node.node_id] = vslice.group
+
+    # Pass 2: transfers.
+    transfers: dict[int, list[TransferSpec]] = {nid: [] for nid in groups}
+    for edge in graph.edges():
+        src = graph.node(edge.src)
+        dst = graph.node(edge.dst)
+        if src.kind != "compute" or dst.kind != "compute":
+            continue  # arg/result movement is the client's cost, not lowered
+        src_group = groups[src.node_id]
+        dst_group = groups[dst.node_id]
+        nbytes = _edge_bytes(src.computation, edge.src_output)
+        if src_group is dst_group:
+            route = TransferRoute.LOCAL
+            moved = 0
+        elif src_group.island.island_id == dst_group.island.island_id:
+            route = TransferRoute.ICI
+            moved = nbytes
+        else:
+            route = TransferRoute.DCN
+            moved = nbytes
+        if src.n_shards != dst.n_shards and route is TransferRoute.LOCAL:
+            # Same group but resharded: scatter/gather over ICI.
+            route = TransferRoute.ICI
+            moved = Sharding.SPLIT_LEADING.resharding_bytes(
+                src.computation.out_specs[edge.src_output],
+                src.n_shards,
+                dst.n_shards,
+            )
+        transfers[dst.node_id].append(
+            TransferSpec(
+                src_node=src.node_id,
+                dst_node=dst.node_id,
+                route=route,
+                nbytes=moved,
+                src_output=edge.src_output,
+                dst_input=edge.dst_input,
+            )
+        )
+
+    # Pass 3: finalize in topological order.
+    order = [
+        nid for nid in graph.topological_order() if graph.node(nid).kind == "compute"
+    ]
+    nodes = [
+        LowLevelNode(
+            node_id=nid,
+            computation=graph.node(nid).computation,
+            group=groups[nid],
+            incoming=transfers[nid],
+            predecessors=[
+                p for p in graph.predecessors(nid) if graph.node(p).kind == "compute"
+            ],
+        )
+        for nid in order
+    ]
+    islands = sorted({g.island.island_id for g in groups.values()})
+    # Distinct logical hosts across all groups (controller fan-out width).
+    hosts = 0
+    seen_groups: set[int] = set()
+    for g in groups.values():
+        if id(g) not in seen_groups:
+            seen_groups.add(id(g))
+            hosts += g.n_hosts_logical
+    return LowLevelProgram(
+        name=program.name,
+        source=program,
+        nodes=nodes,
+        islands=islands,
+        total_hosts_logical=hosts,
+    )

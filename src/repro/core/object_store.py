@@ -1,0 +1,151 @@
+"""Sharded object store with HBM tracking (paper §4.6).
+
+Each host manages objects whose shards may live in accelerator HBM or in
+host DRAM.  Clients and servers refer to objects by opaque handles, so
+the system can migrate buffers.  Objects carry ownership labels for
+garbage collection on client/program failure, reference counts for
+lifetime management, and their HBM reservations create back-pressure:
+a computation that cannot allocate output buffers stalls until space
+frees up.
+
+The store is *sharded*: one logical object covers all shards of a
+sharded buffer, amortizing bookkeeping at logical granularity — the
+client-scalability mechanism of paper §4.2.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Any, Iterable, Optional
+
+import numpy as np
+
+from repro.core.placement import DeviceGroup
+from repro.sim import Event, Simulator
+
+__all__ = ["MemorySpace", "ObjectHandle", "ShardedObjectStore"]
+
+_object_ids = itertools.count(1)
+
+
+class MemorySpace(Enum):
+    HBM = "hbm"
+    HOST_DRAM = "dram"
+
+
+@dataclass
+class ObjectHandle:
+    """Opaque reference to one logical (possibly sharded) buffer."""
+
+    object_id: int
+    nbytes_total: int
+    nbytes_per_shard: int
+    n_shards: int
+    space: MemorySpace
+    owner: str  # client/program label, for failure GC
+    group: Optional[DeviceGroup] = None
+    value: Optional[np.ndarray] = None  # logical value, once produced
+    refcount: int = 1
+    freed: bool = False
+
+
+class ShardedObjectStore:
+    """Global view over per-device HBM allocators + host DRAM.
+
+    HBM reservations go through each shard device's
+    :class:`~repro.hw.device.HbmAllocator` (aggregate groups charge the
+    representative devices the per-shard size — capacity semantics are
+    per-core, so this is exact).  DRAM is modeled as unbounded.
+    """
+
+    def __init__(self, sim: Simulator):
+        self.sim = sim
+        self._objects: dict[int, ObjectHandle] = {}
+        self.allocations = 0
+        self.frees = 0
+
+    # -- allocation ---------------------------------------------------------
+    def allocate(
+        self,
+        nbytes_per_shard: int,
+        n_shards: int,
+        owner: str,
+        group: Optional[DeviceGroup] = None,
+        space: MemorySpace = MemorySpace.HBM,
+    ) -> tuple[ObjectHandle, Event]:
+        """Reserve a sharded buffer; the event fires when space is granted.
+
+        For HBM, every simulated device in the group must grant the
+        per-shard bytes (back-pressure: the event waits for all grants).
+        """
+        handle = ObjectHandle(
+            object_id=next(_object_ids),
+            nbytes_total=nbytes_per_shard * n_shards,
+            nbytes_per_shard=nbytes_per_shard,
+            n_shards=n_shards,
+            space=space,
+            owner=owner,
+            group=group,
+        )
+        self._objects[handle.object_id] = handle
+        self.allocations += 1
+        if space is MemorySpace.HBM:
+            if group is None:
+                raise ValueError("HBM allocation requires a device group")
+            grants = [dev.hbm.alloc(nbytes_per_shard) for dev in group.devices]
+            ready = self.sim.all_of(grants)
+        else:
+            ready = self.sim.event(name=f"dram_alloc:{handle.object_id}")
+            ready.succeed(None)
+        return handle, ready
+
+    # -- reference counting ---------------------------------------------------
+    def add_ref(self, handle: ObjectHandle) -> None:
+        if handle.freed:
+            raise RuntimeError(f"add_ref on freed object {handle.object_id}")
+        handle.refcount += 1
+
+    def release(self, handle: ObjectHandle) -> None:
+        """Drop one reference; frees the buffer at zero."""
+        if handle.freed:
+            raise RuntimeError(f"double free of object {handle.object_id}")
+        if handle.refcount <= 0:
+            raise RuntimeError(f"refcount underflow on object {handle.object_id}")
+        handle.refcount -= 1
+        if handle.refcount == 0:
+            self._free(handle)
+
+    def _free(self, handle: ObjectHandle) -> None:
+        handle.freed = True
+        self.frees += 1
+        if handle.space is MemorySpace.HBM and handle.group is not None:
+            for dev in handle.group.devices:
+                dev.hbm.free_bytes(handle.nbytes_per_shard)
+        self._objects.pop(handle.object_id, None)
+
+    # -- failure cleanup -----------------------------------------------------
+    def collect_owner(self, owner: str) -> int:
+        """Free everything owned by ``owner`` (program/client failure GC).
+
+        Returns the number of objects collected.
+        """
+        doomed = [h for h in self._objects.values() if h.owner == owner]
+        for handle in doomed:
+            handle.refcount = 1
+            self.release(handle)
+        return len(doomed)
+
+    # -- introspection --------------------------------------------------------
+    def live_objects(self, owner: Optional[str] = None) -> list[ObjectHandle]:
+        objs = list(self._objects.values())
+        if owner is not None:
+            objs = [h for h in objs if h.owner == owner]
+        return objs
+
+    def live_bytes(self, owner: Optional[str] = None) -> int:
+        return sum(h.nbytes_total for h in self.live_objects(owner))
+
+    def __len__(self) -> int:
+        return len(self._objects)

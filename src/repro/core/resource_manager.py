@@ -1,0 +1,160 @@
+"""Centralized resource manager (paper §4.1).
+
+Owns every device on every island; binds virtual slices to physical
+device groups with a load-spreading heuristic (one-to-one virtual to
+physical); tracks background compilation of registered computations; and
+supports dynamic addition/removal of islands ("backend compute resources
+to be added and removed dynamically").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Generator, Optional
+
+from repro.config import SystemConfig
+from repro.core.placement import DeviceGroup
+from repro.core.virtual_device import VirtualSlice
+from repro.hw.cluster import Cluster
+from repro.hw.topology import Island
+from repro.sim import Event, Simulator
+from repro.xla.compiler import Compiler
+from repro.xla.computation import CompiledFunction
+
+__all__ = ["ResourceManager"]
+
+
+class ResourceManager:
+    """Global allocator of physical devices to virtual slices."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        cluster: Cluster,
+        config: SystemConfig,
+        aggregate_threshold: int = 64,
+        max_simulated_per_group: int = 16,
+    ):
+        self.sim = sim
+        self.cluster = cluster
+        self.config = config
+        #: Slices larger than this are simulated with representative
+        #: devices (see :mod:`repro.core.placement`).
+        self.aggregate_threshold = aggregate_threshold
+        self.max_simulated_per_group = max_simulated_per_group
+        self.compiler = Compiler()
+        self._islands: dict[int, Island] = {
+            isl.island_id: isl for isl in cluster.islands
+        }
+        #: Next-device cursor per island for load spreading.
+        self._cursor: dict[int, int] = {i: 0 for i in self._islands}
+        #: Devices currently bound, per island (for release + accounting).
+        self._bound: dict[int, VirtualSlice] = {}
+
+    # -- island membership -----------------------------------------------------
+    def add_island(self, island: Island) -> None:
+        if island.island_id in self._islands:
+            raise ValueError(f"island {island.island_id} already registered")
+        self._islands[island.island_id] = island
+        self._cursor[island.island_id] = 0
+
+    def remove_island(self, island_id: int) -> None:
+        in_use = [
+            s for s in self._bound.values()
+            if s.bound and s.group.island.island_id == island_id
+        ]
+        if in_use:
+            raise RuntimeError(
+                f"island {island_id} has {len(in_use)} bound slice(s); "
+                "migrate or release them first"
+            )
+        self._islands.pop(island_id)
+        self._cursor.pop(island_id)
+
+    @property
+    def islands(self) -> list[Island]:
+        return [self._islands[i] for i in sorted(self._islands)]
+
+    @property
+    def total_devices(self) -> int:
+        return sum(isl.n_devices for isl in self._islands.values())
+
+    # -- slice binding ----------------------------------------------------
+    def _pick_island(self, n_devices: int) -> Island:
+        """Least-loaded island with capacity (static load balancing)."""
+        candidates = [
+            isl for isl in self._islands.values() if isl.n_devices >= n_devices
+        ]
+        if not candidates:
+            raise RuntimeError(
+                f"no island can host a slice of {n_devices} devices "
+                f"(largest has {max((i.n_devices for i in self._islands.values()), default=0)})"
+            )
+        return min(candidates, key=lambda isl: self._cursor.get(isl.island_id, 0))
+
+    def bind_slice(self, vslice: VirtualSlice) -> DeviceGroup:
+        """Assign physical devices to ``vslice`` and bind it."""
+        if vslice.bound:
+            raise RuntimeError(f"slice {vslice.slice_id} already bound")
+        if vslice.island_id is not None:
+            island = self._islands.get(vslice.island_id)
+            if island is None:
+                raise KeyError(f"unknown island {vslice.island_id}")
+        else:
+            island = self._pick_island(vslice.n_devices)
+        n = vslice.n_devices
+        if n <= self.aggregate_threshold and n <= island.n_devices:
+            # Detailed: a contiguous physical slice, round-robin offset.
+            offset = self._cursor[island.island_id] % max(1, island.n_devices - n + 1)
+            devices = island.device_slice(n, offset=offset)
+            group = DeviceGroup(island=island, devices=devices, n_logical=n)
+        else:
+            # Aggregate: representative devices spanning distinct hosts.
+            per_host = len(island.hosts[0].devices)
+            n_hosts_logical = max(1, n // per_host)
+            reps = min(self.max_simulated_per_group, len(island.devices), n)
+            step = max(1, island.n_devices // reps)
+            devices = [island.devices[(i * step) % island.n_devices] for i in range(reps)]
+            # De-duplicate while preserving order.
+            seen: set[int] = set()
+            devices = [d for d in devices if d.device_id not in seen and not seen.add(d.device_id)]
+            group = DeviceGroup(
+                island=island,
+                devices=devices,
+                n_logical=n,
+                n_hosts_logical=n_hosts_logical,
+            )
+        self._cursor[island.island_id] = self._cursor.get(island.island_id, 0) + n
+        vslice.bind(group)
+        self._bound[vslice.slice_id] = vslice
+        return group
+
+    def release_slice(self, vslice: VirtualSlice) -> None:
+        self._bound.pop(vslice.slice_id, None)
+        vslice.unbind()
+
+    def rebind_slice(self, vslice: VirtualSlice) -> DeviceGroup:
+        """Migrate: unbind and bind afresh (transparent to the client,
+        which only holds virtual device names)."""
+        self.release_slice(vslice)
+        return self.bind_slice(vslice)
+
+    # -- compilation tracking ---------------------------------------------
+    def register_computation(self, fn: CompiledFunction) -> Event:
+        """Trigger background compilation; event fires when ready.
+
+        Registration returns immediately — servers compile in the
+        background (paper §4.2) — so callers overlap compilation with
+        program construction.
+        """
+        _, cost = self.compiler.lookup(fn)
+        done = self.sim.event(name=f"compile:{fn.name}")
+        if cost <= 0:
+            done.succeed(None)
+        else:
+            def _compile() -> Generator:
+                yield self.sim.timeout(cost)
+                done.succeed(None)
+
+            self.sim.process(_compile(), name=f"compile:{fn.name}")
+        return done

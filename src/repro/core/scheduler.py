@@ -1,0 +1,210 @@
+"""Per-island centralized gang scheduler (paper §4.4).
+
+Every accelerator computation on an island is sequenced by one
+scheduler.  The scheduler's serial grant loop guarantees the property
+TPUs require: if two programs' computations overlap in device sets, all
+devices observe the same relative enqueue order — so communicating
+computations can never interleave inconsistently and deadlock.
+
+Policies decide *which* pending computation is sequenced next:
+
+* :class:`FifoPolicy` — the paper's current implementation ("simply
+  enqueues work in FIFO order").
+* :class:`ProportionalSharePolicy` — stride scheduling over client
+  weights, the policy behind Figure 9's 1:1:1:1 and 1:2:4:8 traces.
+
+Scheduling happens at millisecond timescales; each decision costs
+``config.scheduler_decision_us`` on the scheduler's serial loop.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Generator, Optional, Protocol
+
+from repro.config import SystemConfig
+from repro.hw.topology import Island
+from repro.sim import Event, Simulator, Store
+
+__all__ = ["FifoPolicy", "GangRequest", "IslandScheduler", "ProportionalSharePolicy"]
+
+_request_seq = itertools.count()
+
+
+@dataclass
+class GangRequest:
+    """One computation instance awaiting its enqueue turn."""
+
+    client: str
+    program: str
+    node_label: str
+    grant: Event
+    enqueued_ack: Event
+    #: Device-time estimate for this unit; lets proportional share charge
+    #: by time consumed rather than unit count.
+    cost_us: float = 1.0
+    #: Devices the gang occupies (admission control is per device).
+    device_ids: tuple[int, ...] = ()
+    seq: int = field(default_factory=lambda: next(_request_seq))
+
+
+class SchedulingPolicy(Protocol):
+    """Chooses the next request from a non-empty pending list."""
+
+    def pick(self, pending: list[GangRequest]) -> GangRequest: ...
+
+
+class FifoPolicy:
+    """Strict arrival order."""
+
+    def pick(self, pending: list[GangRequest]) -> GangRequest:
+        return min(pending, key=lambda r: r.seq)
+
+    def __repr__(self) -> str:
+        return "FifoPolicy()"
+
+
+class ProportionalSharePolicy:
+    """Stride scheduling: clients receive device time ∝ their weight.
+
+    Each client carries a *pass* value; the pending request whose client
+    has the lowest pass wins, and the winner's pass advances by
+    ``cost / weight``.  Unknown clients default to weight 1.
+    """
+
+    def __init__(self, weights: Optional[dict[str, float]] = None):
+        self.weights: dict[str, float] = dict(weights or {})
+        self._pass: dict[str, float] = {}
+
+    def set_weight(self, client: str, weight: float) -> None:
+        if weight <= 0:
+            raise ValueError(f"weight must be positive, got {weight}")
+        self.weights[client] = weight
+
+    def _weight(self, client: str) -> float:
+        return self.weights.get(client, 1.0)
+
+    def pick(self, pending: list[GangRequest]) -> GangRequest:
+        # New clients join at the current minimum pass (so they cannot
+        # monopolize by starting at zero) and advance independently from
+        # there on.
+        floor = min(self._pass.values(), default=0.0)
+        for r in pending:
+            self._pass.setdefault(r.client, floor)
+        choice = min(pending, key=lambda r: (self._pass[r.client], r.seq))
+        self._pass[choice.client] += choice.cost_us / self._weight(choice.client)
+        return choice
+
+    def __repr__(self) -> str:
+        return f"ProportionalSharePolicy({self.weights})"
+
+
+class IslandScheduler:
+    """The serial sequencing loop for one island.
+
+    Two responsibilities:
+
+    * **consistent order** — grants are serialized (one at a time, each
+      acknowledged after its kernels are appended), so every device
+      observes the same relative order of overlapping gangs;
+    * **admission control** — at most ``config.scheduler_queue_depth``
+      granted-but-unfinished computations per device.  Deep enough to
+      keep the non-preemptible queues busy (double buffering), shallow
+      enough that the *policy*, not arrival order, apportions device
+      time — this is what makes proportional share (Figure 9)
+      enforceable at millisecond timescales.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        island: Island,
+        config: SystemConfig,
+        policy: Optional[SchedulingPolicy] = None,
+    ):
+        self.sim = sim
+        self.island = island
+        self.config = config
+        self.policy: SchedulingPolicy = policy if policy is not None else FifoPolicy()
+        self._incoming: Store = Store(sim, name=f"sched_in[{island.island_id}]")
+        self._pending: list[GangRequest] = []
+        self._outstanding: dict[int, int] = {}
+        self.decisions = 0
+        self._proc = sim.process(
+            self._run(), name=f"scheduler[{island.island_id}]", daemon=True
+        )
+
+    def submit(
+        self,
+        client: str,
+        program: str,
+        node_label: str,
+        cost_us: float = 1.0,
+        device_ids: tuple[int, ...] = (),
+    ) -> GangRequest:
+        """Register a computation for sequencing; caller waits on
+        ``request.grant``, enqueues its kernels, triggers
+        ``request.enqueued_ack`` so the next grant can proceed, and calls
+        :meth:`complete` when the computation finishes on-device."""
+        req = GangRequest(
+            client=client,
+            program=program,
+            node_label=node_label,
+            grant=self.sim.event(name=f"grant:{node_label}"),
+            enqueued_ack=self.sim.event(name=f"ack:{node_label}"),
+            cost_us=cost_us,
+            device_ids=tuple(device_ids),
+        )
+        self._incoming.put(("req", req))
+        return req
+
+    def complete(self, req: GangRequest) -> None:
+        """Signal that a granted computation finished executing."""
+        self._incoming.put(("done", req))
+
+    # -- internals -----------------------------------------------------
+    def _eligible(self, req: GangRequest) -> bool:
+        depth = self.config.scheduler_queue_depth
+        return all(self._outstanding.get(d, 0) < depth for d in req.device_ids)
+
+    def _apply(self, kind: str, req: GangRequest) -> None:
+        if kind == "req":
+            self._pending.append(req)
+        else:  # "done"
+            for d in req.device_ids:
+                remaining = self._outstanding.get(d, 0) - 1
+                if remaining > 0:
+                    self._outstanding[d] = remaining
+                else:
+                    self._outstanding.pop(d, None)
+
+    def _drain_incoming(self) -> None:
+        while True:
+            ok, item = self._incoming.try_get()
+            if not ok:
+                break
+            self._apply(*item)
+
+    def _run(self) -> Generator:
+        while True:
+            kind, req = yield self._incoming.get()
+            self._apply(kind, req)
+            self._drain_incoming()
+            while True:
+                eligible = [r for r in self._pending if self._eligible(r)]
+                if not eligible:
+                    break
+                choice = self.policy.pick(eligible)
+                self._pending.remove(choice)
+                if self.config.scheduler_decision_us > 0:
+                    yield self.sim.timeout(self.config.scheduler_decision_us)
+                self.decisions += 1
+                for d in choice.device_ids:
+                    self._outstanding[d] = self._outstanding.get(d, 0) + 1
+                choice.grant.succeed(None)
+                # Serialize: the winner must finish appending its kernels
+                # before anyone else is granted, preserving a single
+                # global enqueue order on this island.
+                yield choice.enqueued_ack
+                self._drain_incoming()

@@ -1,0 +1,118 @@
+"""The assembled Pathways system.
+
+:class:`PathwaysSystem` owns the simulator, cluster, resource manager,
+object store, and one gang scheduler per island, and hands out
+:class:`~repro.core.client.PathwaysClient` instances.  It is the
+public entry point of the library::
+
+    from repro import PathwaysSystem, config_b
+
+    pw = PathwaysSystem.build(config_b(n_hosts=4))
+    client = pw.client("alice")
+    devs = pw.make_virtual_device_set().add_slice(tpu_devices=8)
+    double = client.wrap_fn(lambda x: x * 2.0, devices=devs, duration_us=50,
+                            spec=TensorSpec((2,)))
+    print(client.call(double, np.array([1.0, 2.0])))
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.config import DEFAULT_CONFIG, SystemConfig
+from repro.core.dispatch import DispatchMode, ProgramExecution
+from repro.core.object_store import ShardedObjectStore
+from repro.core.resource_manager import ResourceManager
+from repro.core.scheduler import FifoPolicy, IslandScheduler, SchedulingPolicy
+from repro.core.virtual_device import VirtualDeviceSet
+from repro.hw.cluster import Cluster, ClusterSpec, make_cluster
+from repro.hw.topology import Island
+from repro.sim import Simulator
+from repro.trace.events import TraceRecorder
+
+__all__ = ["DispatchMode", "PathwaysSystem"]
+
+
+class PathwaysSystem:
+    """Single-controller runtime over a simulated cluster."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        cluster: Cluster,
+        config: SystemConfig = DEFAULT_CONFIG,
+        policy: Optional[SchedulingPolicy] = None,
+        trace: Optional[TraceRecorder] = None,
+        aggregate_threshold: int = 64,
+    ):
+        self.sim = sim
+        self.cluster = cluster
+        self.config = config
+        self.trace = trace
+        self.resource_manager = ResourceManager(
+            sim, cluster, config, aggregate_threshold=aggregate_threshold
+        )
+        self.object_store = ShardedObjectStore(sim)
+        self._schedulers: dict[int, IslandScheduler] = {
+            isl.island_id: IslandScheduler(
+                sim, isl, config, policy=policy if policy is not None else FifoPolicy()
+            )
+            for isl in cluster.islands
+        }
+        self._clients: dict[str, "PathwaysClient"] = {}
+        self.default_mode = DispatchMode.PARALLEL
+        # counters
+        self.programs_dispatched = 0
+        self.computations_executed = 0
+
+    # -- construction -----------------------------------------------------
+    @staticmethod
+    def build(
+        spec: ClusterSpec,
+        config: SystemConfig = DEFAULT_CONFIG,
+        policy: Optional[SchedulingPolicy] = None,
+        with_trace: bool = False,
+        aggregate_threshold: int = 64,
+    ) -> "PathwaysSystem":
+        """Create a fresh simulator + cluster + system for ``spec``."""
+        sim = Simulator()
+        trace = TraceRecorder() if with_trace else None
+        cluster = make_cluster(sim, spec, config=config, trace=trace)
+        return PathwaysSystem(
+            sim,
+            cluster,
+            config=config,
+            policy=policy,
+            trace=trace,
+            aggregate_threshold=aggregate_threshold,
+        )
+
+    # -- components -------------------------------------------------------
+    def scheduler_for(self, island: Island) -> IslandScheduler:
+        return self._schedulers[island.island_id]
+
+    def set_policy(self, policy: SchedulingPolicy) -> None:
+        for sched in self._schedulers.values():
+            sched.policy = policy
+
+    def make_virtual_device_set(self) -> VirtualDeviceSet:
+        return VirtualDeviceSet(self.resource_manager)
+
+    def client(self, name: str = "client", weight: float = 1.0) -> "PathwaysClient":
+        from repro.core.client import PathwaysClient
+
+        if name in self._clients:
+            return self._clients[name]
+        client = PathwaysClient(self, name=name, weight=weight)
+        self._clients[name] = client
+        return client
+
+    # -- execution helpers -----------------------------------------------
+    def run_until_idle(self, limit_us: Optional[float] = None) -> float:
+        """Drain the simulation; returns final time (µs)."""
+        return self.sim.run(until=limit_us)
+
+    def mean_utilization(self) -> float:
+        return self.cluster.mean_utilization()

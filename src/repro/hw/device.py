@@ -1,0 +1,239 @@
+"""TPU-like simulated accelerator devices.
+
+The properties that drive the paper's design are modeled exactly:
+
+* **Single-threaded & non-preemptible** — a device executes one kernel at
+  a time, strictly in enqueue (FIFO) order.  Nothing can be reordered or
+  preempted once enqueued.
+* **Collectives rendezvous** — a collective kernel blocks its device until
+  *all* participating devices reach the *same* collective instance.  If
+  two communicating programs are enqueued in inconsistent orders on
+  different devices, the devices block forever: the simulation kernel
+  reports :class:`~repro.sim.DeadlockError`.  This is the precise failure
+  mode that makes centralized gang scheduling a hard requirement (paper
+  §2, §4.4, Appendix A.5).
+* **HBM capacity** — an allocator with FIFO back-pressure, used by the
+  object store (paper §4.6).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, Generator, Optional, TYPE_CHECKING
+
+from repro.config import SystemConfig
+from repro.sim import Event, Simulator, Store
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for typing only
+    from repro.hw.host import Host
+    from repro.trace.events import TraceRecorder
+
+__all__ = ["CollectiveRendezvous", "Device", "HbmAllocator", "Kernel"]
+
+
+class HbmAllocator:
+    """Byte-granular HBM allocator with FIFO back-pressure.
+
+    ``alloc`` returns an event that triggers once the bytes are reserved;
+    if HBM is full the request queues, stalling the computation that
+    issued it ("simple back-pressure", paper §4.6).
+    """
+
+    def __init__(self, sim: Simulator, capacity_bytes: int, name: str = ""):
+        self.sim = sim
+        self.capacity = capacity_bytes
+        self.used = 0
+        self.name = name or "hbm"
+        self._waiters: Deque[tuple[Event, int]] = deque()
+        self.peak_used = 0
+
+    @property
+    def free(self) -> int:
+        return self.capacity - self.used
+
+    def alloc(self, nbytes: int) -> Event:
+        if nbytes < 0:
+            raise ValueError(f"negative allocation: {nbytes}")
+        if nbytes > self.capacity:
+            raise MemoryError(
+                f"{self.name}: request of {nbytes} bytes exceeds HBM capacity "
+                f"{self.capacity}"
+            )
+        ev = self.sim.event(name=f"hbm_alloc:{self.name}")
+        if not self._waiters and self.used + nbytes <= self.capacity:
+            self._grant(ev, nbytes)
+        else:
+            self._waiters.append((ev, nbytes))
+        return ev
+
+    def _grant(self, ev: Event, nbytes: int) -> None:
+        self.used += nbytes
+        self.peak_used = max(self.peak_used, self.used)
+        ev.succeed(nbytes)
+
+    def free_bytes(self, nbytes: int) -> None:
+        if nbytes > self.used:
+            raise RuntimeError(
+                f"{self.name}: freeing {nbytes} bytes but only {self.used} in use"
+            )
+        self.used -= nbytes
+        # Grant strictly in FIFO order; stop at the first waiter that
+        # still does not fit (no small-request overtaking, which would
+        # starve large buffers).
+        while self._waiters and self.used + self._waiters[0][1] <= self.capacity:
+            ev, want = self._waiters.popleft()
+            self._grant(ev, want)
+
+
+class CollectiveRendezvous:
+    """Barrier + timed completion shared by one collective instance.
+
+    Each participating device calls :meth:`join` when the collective
+    kernel reaches the head of its queue.  Once every participant has
+    joined, all are released ``duration_us`` later (the collective itself
+    runs on the dedicated interconnect, devices stay occupied).
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        participants: int,
+        duration_us: float,
+        name: str = "",
+    ):
+        if participants < 1:
+            raise ValueError("collective needs at least one participant")
+        self.sim = sim
+        self.name = name or "collective"
+        self.expected = participants
+        self.duration_us = duration_us
+        self._joined = 0
+        self._done = sim.event(name=f"collective_done:{self.name}")
+
+    @property
+    def joined(self) -> int:
+        return self._joined
+
+    def join(self) -> Event:
+        self._joined += 1
+        if self._joined > self.expected:
+            raise RuntimeError(
+                f"{self.name}: {self._joined} joins for {self.expected} participants"
+            )
+        if self._joined == self.expected:
+            # Everyone arrived; complete after the wire time.
+            def _finish(ev: Event) -> None:
+                self._done.succeed(None)
+
+            self.sim.timeout(self.duration_us).add_callback(_finish)
+        return self._done
+
+
+class Kernel:
+    """One enqueued unit of device work.
+
+    Either a plain computation of ``duration_us``, or participation in a
+    ``collective`` rendezvous (in which case the device blocks until the
+    rendezvous completes).  An optional ``gate`` event models data
+    dependencies: the device *stalls at the head of its queue* until the
+    gate fires (input buffers filled via RDMA), faithfully reproducing
+    the non-preemptible stream semantics that make enqueue order matter.
+    ``done`` triggers at completion; ``tag`` and ``program`` feed the
+    trace recorder.
+    """
+
+    __slots__ = ("duration_us", "collective", "done", "tag", "program", "gate")
+
+    def __init__(
+        self,
+        sim: Simulator,
+        duration_us: float = 0.0,
+        collective: Optional[CollectiveRendezvous] = None,
+        tag: str = "",
+        program: str = "",
+        gate: Optional[Event] = None,
+    ):
+        if duration_us < 0:
+            raise ValueError(f"negative kernel duration: {duration_us}")
+        self.duration_us = duration_us
+        self.collective = collective
+        self.done: Event = sim.event(name=f"kernel_done:{tag}")
+        self.tag = tag
+        self.program = program
+        self.gate = gate
+
+
+class Device:
+    """A simulated TPU core.
+
+    Work is submitted with :meth:`enqueue`; an internal process drains the
+    queue strictly in order, one kernel at a time.  The queue is
+    unbounded (matching the deep hardware FIFOs that make asynchronous
+    dispatch possible, Appendix A.2).
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        config: SystemConfig,
+        device_id: int,
+        island_id: int,
+        coords: tuple[int, int],
+        host: Optional["Host"] = None,
+        trace: Optional["TraceRecorder"] = None,
+    ):
+        self.sim = sim
+        self.config = config
+        self.device_id = device_id
+        self.island_id = island_id
+        self.coords = coords
+        self.host = host
+        self.trace = trace
+        self.hbm = HbmAllocator(sim, config.hbm_bytes, name=f"hbm[d{device_id}]")
+        self._queue: Store = Store(sim, name=f"devq[d{device_id}]")
+        self.busy_us = 0.0          # time spent executing kernels
+        self.kernels_run = 0
+        self._proc = sim.process(self._run(), name=f"device[{device_id}]", daemon=True)
+
+    @property
+    def name(self) -> str:
+        return f"d{self.device_id}"
+
+    def enqueue(self, kernel: Kernel) -> Event:
+        """Append a kernel to the FIFO; returns the kernel's done event."""
+        self._queue.put(kernel)
+        return kernel.done
+
+    def _run(self) -> Generator:
+        launch = self.config.kernel_launch_us
+        while True:
+            kernel: Kernel = yield self._queue.get()
+            if kernel.gate is not None:
+                # Head-of-line blocking: nothing behind this kernel can
+                # run until its inputs arrive.
+                yield kernel.gate
+            if launch > 0:
+                yield self.sim.timeout(launch)
+            start = self.sim.now
+            if kernel.collective is not None:
+                yield kernel.collective.join()
+            if kernel.duration_us > 0:
+                yield self.sim.timeout(kernel.duration_us)
+            end = self.sim.now
+            self.busy_us += end - start
+            self.kernels_run += 1
+            if self.trace is not None:
+                self.trace.record(
+                    device=self.device_id,
+                    start=start,
+                    end=end,
+                    tag=kernel.tag,
+                    program=kernel.program,
+                )
+            kernel.done.succeed(None)
+
+    def utilization(self) -> float:
+        """Fraction of wall-clock time spent executing kernels so far."""
+        if self.sim.now <= 0:
+            return 0.0
+        return min(1.0, self.busy_us / self.sim.now)

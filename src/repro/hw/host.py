@@ -1,0 +1,78 @@
+"""Hosts: serial CPUs with PCIe-attached devices.
+
+A host owns a handful of devices (4 or 8 in the paper's configurations)
+and performs all *host-side* work: Python/C++ dispatch, executor
+preparation (buffer allocation, launch descriptor setup), and DCN message
+handling.  The CPU is a serial resource — host-side work on the critical
+path is exactly what parallel asynchronous dispatch (paper §4.5) removes,
+so contention here must be modeled, not abstracted away.
+"""
+
+from __future__ import annotations
+
+from typing import Generator, Optional, TYPE_CHECKING
+
+from repro.config import SystemConfig
+from repro.sim import Event, Resource, Simulator
+
+from repro.hw.device import Device, Kernel
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.trace.events import TraceRecorder
+
+__all__ = ["Host"]
+
+
+class Host:
+    """A machine with a serial CPU, a NIC, and PCIe-attached devices."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        config: SystemConfig,
+        host_id: int,
+        island_id: int,
+    ):
+        self.sim = sim
+        self.config = config
+        self.host_id = host_id
+        self.island_id = island_id
+        self.devices: list[Device] = []
+        #: Serial CPU doing dispatch/prep work.
+        self.cpu = Resource(sim, capacity=1, name=f"cpu[h{host_id}]")
+        #: NIC egress serialization for DCN sends.
+        self.nic = Resource(sim, capacity=1, name=f"nic[h{host_id}]")
+
+    @property
+    def name(self) -> str:
+        return f"h{self.host_id}"
+
+    def attach(self, device: Device) -> None:
+        device.host = self
+        self.devices.append(device)
+
+    # -- host-side work ----------------------------------------------------
+    def cpu_work(self, work_us: float) -> Generator:
+        """Occupy the serial CPU for ``work_us``.  ``yield from`` this."""
+        yield from self.cpu.using(self.sim, work_us)
+
+    def enqueue_kernel(self, device: Device, kernel: Kernel) -> Generator:
+        """Dispatch one kernel over PCIe: CPU launch work + PCIe latency.
+
+        Returns (via StopIteration value) the kernel's completion event,
+        which the caller may or may not wait on — enqueue is asynchronous
+        (Appendix A.2).
+        """
+        if device.host is not self:
+            raise ValueError(
+                f"device {device.name} is attached to "
+                f"{device.host.name if device.host else 'no host'}, not {self.name}"
+            )
+        yield from self.cpu_work(self.config.host_launch_work_us)
+        yield self.sim.timeout(self.config.pcie_latency_us)
+        return device.enqueue(kernel)
+
+    def pcie_transfer(self, nbytes: int) -> Generator:
+        """Move ``nbytes`` between device HBM and host DRAM over PCIe."""
+        duration = self.config.pcie_latency_us + nbytes / self.config.gpu_dram_bytes_per_us
+        yield self.sim.timeout(duration)

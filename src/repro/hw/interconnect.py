@@ -1,0 +1,129 @@
+"""Interconnect cost models: per-island ICI and cross-island DCN.
+
+ICI is the dedicated accelerator interconnect (TPU mesh): device-to-device
+transfers and fused collectives run here without host involvement.  DCN is
+the datacenter network: host-mediated, an order of magnitude higher
+latency (paper §2, Figure 1), with per-host NIC bandwidth.  Both are cost
+models plus (for DCN) serialization through the sending host's NIC.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Generator, Optional
+
+from repro.config import SystemConfig
+from repro.sim import Event, Simulator
+
+from repro.hw.device import CollectiveRendezvous, Device
+from repro.hw.host import Host
+
+__all__ = ["DCN", "ICI"]
+
+
+class ICI:
+    """Inter-chip interconnect for one island (2-D mesh torus).
+
+    Transfers and collectives are *not* contended in this model: TPU mesh
+    bisection bandwidth is high enough that the paper's experiments never
+    saturate it, and modeling per-link contention would add state without
+    changing any reproduced shape.  Costs:
+
+    * point-to-point: ``hops * ici_latency + bytes / link_bw``
+    * all-reduce over n devices (ring): ``base + 2*(n-1)/n * bytes / bw``
+    * all-gather / reduce-scatter: ``base + (n-1)/n * bytes / bw``
+    """
+
+    def __init__(self, sim: Simulator, config: SystemConfig, island_id: int):
+        self.sim = sim
+        self.config = config
+        self.island_id = island_id
+
+    # -- cost models -----------------------------------------------------
+    def hops(self, src: Device, dst: Device) -> int:
+        (x0, y0), (x1, y1) = src.coords, dst.coords
+        return abs(x0 - x1) + abs(y0 - y1)
+
+    def transfer_time_us(self, src: Device, dst: Device, nbytes: int) -> float:
+        hops = max(1, self.hops(src, dst))
+        return hops * self.config.ici_latency_us + nbytes / self.config.ici_bytes_per_us
+
+    def allreduce_time_us(self, n_devices: int, nbytes: int) -> float:
+        if n_devices <= 1:
+            return self.config.allreduce_base_us
+        ring = 2.0 * (n_devices - 1) / n_devices * nbytes / self.config.ici_bytes_per_us
+        # Latency grows with the mesh diameter (reduce along rows, then
+        # columns of the 2-D torus): ~2*sqrt(n) hops.
+        lat = self.config.allreduce_base_us + 2.0 * math.sqrt(n_devices) * self.config.ici_latency_us
+        return lat + ring
+
+    def allgather_time_us(self, n_devices: int, nbytes: int) -> float:
+        if n_devices <= 1:
+            return self.config.allreduce_base_us / 2
+        wire = (n_devices - 1) / n_devices * nbytes / self.config.ici_bytes_per_us
+        return self.config.allreduce_base_us / 2 + wire
+
+    # -- simulated actions -------------------------------------------------
+    def transfer(self, src: Device, dst: Device, nbytes: int) -> Generator:
+        """Simulate a device-to-device copy; completes after wire time."""
+        if src.island_id != self.island_id or dst.island_id != self.island_id:
+            raise ValueError("ICI transfer requires both devices on this island")
+        yield self.sim.timeout(self.transfer_time_us(src, dst, nbytes))
+
+    def make_allreduce(
+        self, participants: int, nbytes: int, name: str = ""
+    ) -> CollectiveRendezvous:
+        """Create the rendezvous for one all-reduce instance."""
+        return CollectiveRendezvous(
+            self.sim,
+            participants,
+            self.allreduce_time_us(participants, nbytes),
+            name=name or f"allreduce[{participants}x{nbytes}B]",
+        )
+
+
+class DCN:
+    """Datacenter network connecting all hosts (RDMA-style).
+
+    Messages serialize through the sending host's NIC (bandwidth term)
+    and arrive after the propagation latency.  Small control messages
+    destined for the same host inside a batching window can be coalesced
+    by the PLAQUE layer (see :mod:`repro.plaque.channels`); the DCN
+    itself charges each send independently.
+    """
+
+    def __init__(self, sim: Simulator, config: SystemConfig):
+        self.sim = sim
+        self.config = config
+        self.messages_sent = 0
+        self.bytes_sent = 0
+
+    def transfer_time_us(self, nbytes: int) -> float:
+        return self.config.dcn_latency_us + nbytes / self.config.dcn_bytes_per_us
+
+    def send(self, src: Host, dst: Host, nbytes: int) -> Event:
+        """Send ``nbytes`` from ``src`` to ``dst``; returns arrival event.
+
+        The sender's NIC is held for the serialization time; the arrival
+        event triggers one latency later.  Loopback (src is dst) skips
+        the network entirely.
+        """
+        done = self.sim.event(name=f"dcn:{src.name}->{dst.name}")
+        self.messages_sent += 1
+        self.bytes_sent += nbytes
+        if src is dst:
+            done.succeed(None)
+            return done
+
+        def _proc() -> Generator:
+            serialize = nbytes / self.config.dcn_bytes_per_us
+            yield from src.nic.using(self.sim, serialize)
+            yield self.sim.timeout(self.config.dcn_latency_us)
+            done.succeed(None)
+
+        self.sim.process(_proc(), name=f"dcn_send:{src.name}->{dst.name}")
+        return done
+
+    def rpc(self, src: Host, dst: Host, nbytes: int = 256) -> Event:
+        """A small control-plane message (scheduling, data handles)."""
+        return self.send(src, dst, nbytes)

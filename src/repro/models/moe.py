@@ -1,0 +1,182 @@
+"""Mixture-of-Experts: heterogeneous MPMD computation (paper §1, §6.3).
+
+MoE layers route (sub-)examples to experts hosting different weights —
+computational sparsity that the SPMD multi-controller model cannot
+express, and one of the workloads Pathways was designed to unlock.  This
+module builds an MoE layer step as a genuinely *MPMD* Pathways program:
+
+* a **router** computation on one device group,
+* E **expert** computations on separate (possibly differently sized)
+  groups, connected by SPARSE sharded edges,
+* a **combine** computation gathering expert outputs.
+
+Because experts live on disjoint groups, their computations run
+*concurrently* — the step takes router + max(expert) + combine, not the
+sum.  Tests assert exactly that.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+from repro.core.program import PathwaysProgram
+from repro.core.system import PathwaysSystem
+from repro.core.virtual_device import VirtualSlice
+from repro.plaque.graph import EdgeKind, ShardedGraph
+from repro.xla.computation import CompiledFunction
+from repro.xla.shapes import DType, TensorSpec
+
+__all__ = ["MoeLayerBuilder", "MoeResult"]
+
+
+@dataclass
+class MoeResult:
+    step_time_us: float
+    tokens_per_second: float
+    n_experts: int
+
+
+class MoeLayerBuilder:
+    """Builds one MoE layer step as an MPMD Pathways program."""
+
+    def __init__(
+        self,
+        system: PathwaysSystem,
+        n_experts: int,
+        batch_tokens: int,
+        d_model: int,
+        d_expert: int,
+        cores_per_expert: int = 2,
+        router_cores: int = 2,
+        capacity_factor: float = 1.25,
+        efficiency: float = 0.4,
+    ):
+        if n_experts < 1:
+            raise ValueError("need at least one expert")
+        if capacity_factor <= 0:
+            raise ValueError("capacity factor must be positive")
+        self.system = system
+        self.n_experts = n_experts
+        self.batch_tokens = batch_tokens
+        self.d_model = d_model
+        self.d_expert = d_expert
+        self.cores_per_expert = cores_per_expert
+        self.router_cores = router_cores
+        self.capacity_factor = capacity_factor
+        self.efficiency = efficiency
+        self._program: Optional[PathwaysProgram] = None
+
+    # -- cost model -----------------------------------------------------
+    @property
+    def tokens_per_expert(self) -> int:
+        """Expert capacity: even split inflated by the capacity factor."""
+        return int(self.batch_tokens / self.n_experts * self.capacity_factor)
+
+    def _router_fn(self) -> CompiledFunction:
+        spec = TensorSpec((self.batch_tokens, self.d_model), DType.BF16)
+        # Gating: one matmul tokens x d_model x n_experts.
+        flops = 2.0 * self.batch_tokens * self.d_model * self.n_experts
+        return CompiledFunction(
+            "moe_router",
+            (spec,), (spec,),
+            fn=None,
+            n_shards=self.router_cores,
+            flops_per_shard=flops / self.router_cores,
+            efficiency=self.efficiency,
+        )
+
+    def _expert_fn(self, e: int) -> CompiledFunction:
+        t = self.tokens_per_expert
+        in_spec = TensorSpec((max(1, t), self.d_model), DType.BF16)
+        # Expert FFN: two matmuls d_model x d_expert per token.
+        flops = 4.0 * t * self.d_model * self.d_expert
+        return CompiledFunction(
+            f"moe_expert{e}",
+            (in_spec,), (in_spec,),
+            fn=None,
+            n_shards=self.cores_per_expert,
+            flops_per_shard=flops / self.cores_per_expert,
+            efficiency=self.efficiency,
+        )
+
+    def _combine_fn(self) -> CompiledFunction:
+        spec = TensorSpec((self.batch_tokens, self.d_model), DType.BF16)
+        in_spec = TensorSpec((max(1, self.tokens_per_expert), self.d_model), DType.BF16)
+        return CompiledFunction(
+            "moe_combine",
+            tuple(in_spec for _ in range(self.n_experts)),
+            (spec,),
+            fn=None,
+            n_shards=self.router_cores,
+            flops_per_shard=2.0 * self.batch_tokens * self.d_model / self.router_cores,
+            efficiency=self.efficiency,
+        )
+
+    # -- program construction -------------------------------------------
+    def build(self) -> PathwaysProgram:
+        if self._program is not None:
+            return self._program
+        graph = ShardedGraph(name=f"moe[{self.n_experts}e]")
+        placements: dict[int, VirtualSlice] = {}
+        mk = self.system.make_virtual_device_set
+
+        router_slice = mk().add_slice(tpu_devices=self.router_cores)
+        expert_slices = [
+            mk().add_slice(tpu_devices=self.cores_per_expert)
+            for _ in range(self.n_experts)
+        ]
+
+        arg = graph.add_arg()
+        router = graph.add_compute(self._router_fn())
+        placements[router] = router_slice
+        graph.connect(arg, router)
+
+        experts = []
+        for e in range(self.n_experts):
+            node = graph.add_compute(self._expert_fn(e))
+            placements[node] = expert_slices[e]
+            # Data-dependent routing: a dynamically chosen subset of
+            # router shards feeds each expert (SPARSE edge, §4.3).
+            graph.connect(router, node, kind=EdgeKind.SPARSE)
+            experts.append(node)
+
+        combine = graph.add_compute(self._combine_fn())
+        placements[combine] = router_slice
+        for i, node in enumerate(experts):
+            graph.connect(node, combine, dst_input=i, kind=EdgeKind.GATHER)
+
+        result = graph.add_result()
+        graph.connect(combine, result)
+        graph.validate()
+        self._program = PathwaysProgram(
+            name=graph.name,
+            graph=graph,
+            placements=placements,
+            arg_nodes=[arg],
+            results=[(combine, 0)],
+            result_node=result,
+            result_treedef=None,
+        )
+        return self._program
+
+    # -- measurement ---------------------------------------------------------
+    def run(self, client, n_steps: int = 1) -> MoeResult:
+        program = self.build()
+        sim = self.system.sim
+        start = sim.now
+        for _ in range(n_steps):
+            execution = client.submit(program, args=(0.0,), compute_values=False)
+            sim.run_until_triggered(execution.done)
+            execution.release_results()
+        step_us = (sim.now - start) / n_steps
+        return MoeResult(
+            step_time_us=step_us,
+            tokens_per_second=self.batch_tokens / (step_us / 1e6),
+            n_experts=self.n_experts,
+        )
+
+    def expert_compute_us(self) -> float:
+        """Per-expert compute time (for the concurrency assertion)."""
+        fn = self._expert_fn(0)
+        return fn.compute_time_us(self.system.config)

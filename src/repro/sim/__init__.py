@@ -1,0 +1,38 @@
+"""Discrete-event simulation kernel.
+
+A small, deterministic, generator-based discrete-event simulator in the
+style of SimPy.  All Pathways components (hosts, devices, networks,
+schedulers) are simulated processes scheduled by :class:`Simulator`.
+
+The kernel is deliberately minimal: events, processes, timeouts,
+composite events (:class:`AllOf` / :class:`AnyOf`), counted resources,
+FIFO stores, and deadlock detection (the simulator can report which
+processes are blocked when the event queue drains while work remains).
+"""
+
+from repro.sim.engine import (
+    AllOf,
+    AnyOf,
+    DeadlockError,
+    Event,
+    Interrupt,
+    Process,
+    ProcessFailed,
+    Simulator,
+    Timeout,
+)
+from repro.sim.resources import Resource, Store
+
+__all__ = [
+    "AllOf",
+    "AnyOf",
+    "DeadlockError",
+    "Event",
+    "Interrupt",
+    "Process",
+    "ProcessFailed",
+    "Resource",
+    "Simulator",
+    "Store",
+    "Timeout",
+]

@@ -1,0 +1,390 @@
+"""Core event loop, events, and processes.
+
+Time is a float in **microseconds**.  The unit choice matters: the paper's
+quantities of interest (PCIe enqueue ~3 us, DCN RPC ~40 us, computations
+0.04 ms - 35 ms) are all conveniently expressed in microseconds without
+sub-unit fractions dominating.
+
+Determinism: ties in event time are broken by a monotonically increasing
+sequence number, so two runs of the same program produce identical
+schedules.  Any randomness must come from explicitly seeded generators.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Callable, Generator, Iterable, Optional
+
+__all__ = [
+    "AllOf",
+    "AnyOf",
+    "DeadlockError",
+    "Event",
+    "Interrupt",
+    "Process",
+    "ProcessFailed",
+    "Simulator",
+    "Timeout",
+]
+
+#: Sentinel distinguishing "no value yet" from a legitimate ``None`` value.
+_PENDING = object()
+
+
+class DeadlockError(RuntimeError):
+    """Raised by :meth:`Simulator.run` when processes remain blocked.
+
+    This is not merely defensive: the paper's central gang-scheduling
+    argument is that *without* a consistent enqueue order, non-preemptible
+    accelerators deadlock.  The test suite provokes exactly that deadlock
+    and asserts this error is raised.
+    """
+
+    def __init__(self, message: str, blocked: Iterable["Process"] = ()):  # noqa: D107
+        super().__init__(message)
+        self.blocked = list(blocked)
+
+
+class ProcessFailed(RuntimeError):
+    """An exception raised inside a simulated process, with provenance."""
+
+    def __init__(self, process: "Process", cause: BaseException):  # noqa: D107
+        super().__init__(f"process {process.name!r} failed: {cause!r}")
+        self.process = process
+        self.cause = cause
+
+
+class Interrupt(Exception):
+    """Thrown into a process by :meth:`Process.interrupt`."""
+
+    def __init__(self, cause: Any = None):  # noqa: D107
+        super().__init__(cause)
+        self.cause = cause
+
+
+class Event:
+    """A one-shot occurrence that processes may wait on.
+
+    An event is *triggered* with either a value (:meth:`succeed`) or an
+    exception (:meth:`fail`).  Callbacks registered before triggering run
+    when the event is processed by the event loop; callbacks added after
+    run immediately.
+    """
+
+    __slots__ = ("sim", "_value", "_exc", "callbacks", "name")
+
+    def __init__(self, sim: "Simulator", name: str = ""):
+        self.sim = sim
+        self.name = name
+        self._value: Any = _PENDING
+        self._exc: Optional[BaseException] = None
+        self.callbacks: Optional[list[Callable[[Event], None]]] = []
+
+    # -- state ---------------------------------------------------------
+    @property
+    def triggered(self) -> bool:
+        """True once succeed()/fail() has been called."""
+        return self._value is not _PENDING or self._exc is not None
+
+    @property
+    def ok(self) -> bool:
+        """True if the event succeeded (only meaningful once triggered)."""
+        return self.triggered and self._exc is None
+
+    @property
+    def value(self) -> Any:
+        if self._exc is not None:
+            raise self._exc
+        if self._value is _PENDING:
+            raise RuntimeError(f"event {self.name!r} has no value yet")
+        return self._value
+
+    # -- triggering ----------------------------------------------------
+    def succeed(self, value: Any = None) -> "Event":
+        if self.triggered:
+            raise RuntimeError(f"event {self.name!r} already triggered")
+        self._value = value
+        self.sim._schedule_event(self)
+        return self
+
+    def fail(self, exc: BaseException) -> "Event":
+        if self.triggered:
+            raise RuntimeError(f"event {self.name!r} already triggered")
+        self._exc = exc
+        self.sim._schedule_event(self)
+        return self
+
+    # -- callbacks -----------------------------------------------------
+    def add_callback(self, fn: Callable[["Event"], None]) -> None:
+        if self.callbacks is None:
+            # Already processed: run inline (still inside sim loop).
+            fn(self)
+        else:
+            self.callbacks.append(fn)
+
+    def _process_callbacks(self) -> None:
+        callbacks, self.callbacks = self.callbacks, None
+        if callbacks:
+            for fn in callbacks:
+                fn(self)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "triggered" if self.triggered else "pending"
+        return f"<Event {self.name!r} {state}>"
+
+
+class Timeout(Event):
+    """An event that triggers ``delay`` microseconds in the future."""
+
+    __slots__ = ("delay",)
+
+    def __init__(self, sim: "Simulator", delay: float, value: Any = None):
+        if delay < 0:
+            raise ValueError(f"negative timeout delay: {delay}")
+        super().__init__(sim, name=f"timeout({delay:g})")
+        self.delay = delay
+        self._value = value
+        self.sim._schedule_event(self, delay=delay)
+
+
+class AllOf(Event):
+    """Triggers when every constituent event has succeeded.
+
+    Value is the list of constituent values, in input order.  Fails fast
+    if any constituent fails.
+    """
+
+    __slots__ = ("_events", "_remaining")
+
+    def __init__(self, sim: "Simulator", events: Iterable[Event]):
+        super().__init__(sim, name="all_of")
+        self._events = list(events)
+        self._remaining = 0
+        for ev in self._events:
+            if not ev.triggered or ev.callbacks is not None:
+                self._remaining += 1
+                ev.add_callback(self._on_child)
+        if self._remaining == 0 and not self.triggered:
+            self._finish()
+
+    def _on_child(self, ev: Event) -> None:
+        if self.triggered:
+            return
+        if not ev.ok:
+            self.fail(ev._exc)  # type: ignore[arg-type]
+            return
+        self._remaining -= 1
+        if self._remaining == 0:
+            self._finish()
+
+    def _finish(self) -> None:
+        self.succeed([ev.value for ev in self._events])
+
+
+class AnyOf(Event):
+    """Triggers when the first constituent event triggers.
+
+    Value is ``(index, value)`` of the first event to fire.
+    """
+
+    __slots__ = ("_events",)
+
+    def __init__(self, sim: "Simulator", events: Iterable[Event]):
+        super().__init__(sim, name="any_of")
+        self._events = list(events)
+        if not self._events:
+            raise ValueError("AnyOf requires at least one event")
+        for idx, ev in enumerate(self._events):
+            ev.add_callback(lambda e, i=idx: self._on_child(i, e))
+
+    def _on_child(self, idx: int, ev: Event) -> None:
+        if self.triggered:
+            return
+        if ev.ok:
+            self.succeed((idx, ev._value))
+        else:
+            self.fail(ev._exc)  # type: ignore[arg-type]
+
+
+class Process(Event):
+    """A simulated activity driven by a Python generator.
+
+    The generator yields :class:`Event` objects; the process resumes when
+    the yielded event triggers, receiving the event's value (or having
+    the event's exception thrown into it).  A process is itself an event
+    that triggers with the generator's return value, so processes can
+    wait on each other.
+    """
+
+    __slots__ = ("generator", "_waiting_on", "daemon")
+
+    def __init__(
+        self,
+        sim: "Simulator",
+        generator: Generator,
+        name: str = "",
+        daemon: bool = False,
+    ):
+        super().__init__(sim, name=name or getattr(generator, "__name__", "process"))
+        self.generator = generator
+        self._waiting_on: Optional[Event] = None
+        #: Daemon processes are service loops (device queues, schedulers)
+        #: that legitimately idle forever; they are exempt from deadlock
+        #: detection.
+        self.daemon = daemon
+        sim._live_processes.add(self)
+        # Bootstrap: start the generator at the current simulation moment.
+        init = Event(sim, name=f"init:{self.name}")
+        init.add_callback(self._resume)
+        init.succeed()
+
+    def interrupt(self, cause: Any = None) -> None:
+        """Throw :class:`Interrupt` into the process at the current time."""
+        if self.triggered:
+            return
+        target = self._waiting_on
+        if target is not None and not target.triggered:
+            # Detach from whatever we were waiting on.
+            if target.callbacks is not None:
+                try:
+                    target.callbacks.remove(self._resume)
+                except ValueError:
+                    pass
+        kick = Event(self.sim, name=f"interrupt:{self.name}")
+        kick.add_callback(lambda ev: self._step(throw=Interrupt(cause)))
+        kick.succeed()
+
+    # -- internals -----------------------------------------------------
+    def _resume(self, ev: Event) -> None:
+        if self.triggered:
+            return
+        if ev.ok:
+            self._step(value=ev._value)
+        else:
+            self._step(throw=ev._exc)
+
+    def _step(self, value: Any = None, throw: Optional[BaseException] = None) -> None:
+        self._waiting_on = None
+        try:
+            if throw is not None:
+                target = self.generator.throw(throw)
+            else:
+                target = self.generator.send(value)
+        except StopIteration as stop:
+            self.sim._live_processes.discard(self)
+            self.succeed(stop.value)
+            return
+        except BaseException as exc:  # noqa: BLE001 - report with provenance
+            self.sim._live_processes.discard(self)
+            self.fail(ProcessFailed(self, exc))
+            return
+        if not isinstance(target, Event):
+            exc = TypeError(f"process {self.name!r} yielded non-event: {target!r}")
+            self.generator.close()
+            self.sim._live_processes.discard(self)
+            self.fail(ProcessFailed(self, exc))
+            return
+        self._waiting_on = target
+        target.add_callback(self._resume)
+
+
+class Simulator:
+    """The event loop.
+
+    Typical use::
+
+        sim = Simulator()
+
+        def worker(sim):
+            yield sim.timeout(5.0)
+            return "done"
+
+        proc = sim.process(worker(sim))
+        sim.run()
+        assert proc.value == "done"
+    """
+
+    def __init__(self) -> None:
+        self._now: float = 0.0
+        self._queue: list[tuple[float, int, Event]] = []
+        self._seq = 0
+        self._live_processes: set[Process] = set()
+
+    # -- time ------------------------------------------------------------
+    @property
+    def now(self) -> float:
+        """Current simulation time in microseconds."""
+        return self._now
+
+    # -- factory helpers ---------------------------------------------------
+    def event(self, name: str = "") -> Event:
+        return Event(self, name=name)
+
+    def timeout(self, delay: float, value: Any = None) -> Timeout:
+        return Timeout(self, delay, value=value)
+
+    def process(self, generator: Generator, name: str = "", daemon: bool = False) -> Process:
+        return Process(self, generator, name=name, daemon=daemon)
+
+    def all_of(self, events: Iterable[Event]) -> AllOf:
+        return AllOf(self, events)
+
+    def any_of(self, events: Iterable[Event]) -> AnyOf:
+        return AnyOf(self, events)
+
+    # -- scheduling --------------------------------------------------------
+    def _schedule_event(self, event: Event, delay: float = 0.0) -> None:
+        self._seq += 1
+        heapq.heappush(self._queue, (self._now + delay, self._seq, event))
+
+    # -- execution -----------------------------------------------------
+    def step(self) -> None:
+        """Process the single next event."""
+        when, _, event = heapq.heappop(self._queue)
+        self._now = when
+        event._process_callbacks()
+
+    def run(
+        self,
+        until: Optional[float] = None,
+        detect_deadlock: bool = True,
+    ) -> float:
+        """Run until the queue drains or ``until`` (µs) is reached.
+
+        Returns the final simulation time.  If the queue drains while
+        processes are still blocked and ``detect_deadlock`` is set,
+        raises :class:`DeadlockError` naming the stuck processes.
+        """
+        while self._queue:
+            when = self._queue[0][0]
+            if until is not None and when > until:
+                self._now = until
+                return self._now
+            self.step()
+        stuck = [p for p in self._live_processes if not p.daemon]
+        if detect_deadlock and stuck:
+            blocked = sorted(stuck, key=lambda p: p.name)
+            names = ", ".join(p.name for p in blocked[:8])
+            more = "" if len(blocked) <= 8 else f" (+{len(blocked) - 8} more)"
+            raise DeadlockError(
+                f"simulation deadlocked at t={self._now:.3f}us with "
+                f"{len(blocked)} blocked process(es): {names}{more}",
+                blocked,
+            )
+        return self._now
+
+    def run_until_triggered(self, event: Event, limit: Optional[float] = None) -> Any:
+        """Run just far enough for ``event`` to trigger; return its value."""
+        while not event.triggered:
+            if not self._queue:
+                raise DeadlockError(
+                    f"event {event.name!r} can never trigger: queue drained "
+                    f"at t={self._now:.3f}us",
+                    self._live_processes,
+                )
+            if limit is not None and self._queue[0][0] > limit:
+                raise TimeoutError(
+                    f"event {event.name!r} not triggered by t={limit:.3f}us"
+                )
+            self.step()
+        return event.value

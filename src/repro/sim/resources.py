@@ -1,0 +1,151 @@
+"""Shared-resource primitives built on the event kernel.
+
+:class:`Resource` is a counted semaphore with FIFO granting — used to
+model serial host CPUs, PCIe engines, and bounded HBM allocators.
+:class:`Store` is an unbounded-or-bounded FIFO queue of items — used for
+message channels and device work queues.
+
+Both grant strictly in request order, which keeps the simulation
+deterministic and models the paper's FIFO hardware queues faithfully.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any, Deque, Generator, Optional
+
+from repro.sim.engine import Event, Simulator
+
+__all__ = ["Resource", "Store"]
+
+
+class Resource:
+    """A counted resource granting up to ``capacity`` concurrent holders.
+
+    ``request()`` returns an :class:`Event` that triggers when the slot is
+    granted; the holder must later call ``release()`` exactly once.  The
+    ``using()`` helper wraps the acquire/hold/release pattern::
+
+        def task(sim, cpu):
+            yield from cpu.using(sim, work_us=10.0)
+    """
+
+    def __init__(self, sim: Simulator, capacity: int = 1, name: str = ""):
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        self.sim = sim
+        self.capacity = capacity
+        self.name = name or "resource"
+        self._in_use = 0
+        self._waiters: Deque[Event] = deque()
+        #: Cumulative busy time integral, for utilization reporting.
+        self._busy_accum = 0.0
+        self._last_change = 0.0
+
+    @property
+    def in_use(self) -> int:
+        return self._in_use
+
+    @property
+    def queue_len(self) -> int:
+        return len(self._waiters)
+
+    def _account(self) -> None:
+        now = self.sim.now
+        self._busy_accum += self._in_use * (now - self._last_change)
+        self._last_change = now
+
+    def busy_time(self) -> float:
+        """Integral of holders over time (µs·holders) up to now."""
+        self._account()
+        return self._busy_accum
+
+    def request(self) -> Event:
+        ev = self.sim.event(name=f"acquire:{self.name}")
+        if self._in_use < self.capacity and not self._waiters:
+            self._account()
+            self._in_use += 1
+            ev.succeed(self)
+        else:
+            self._waiters.append(ev)
+        return ev
+
+    def release(self) -> None:
+        if self._in_use <= 0:
+            raise RuntimeError(f"release of idle resource {self.name!r}")
+        self._account()
+        if self._waiters:
+            # Hand the slot directly to the next waiter: in_use unchanged.
+            ev = self._waiters.popleft()
+            ev.succeed(self)
+        else:
+            self._in_use -= 1
+
+    def using(self, sim: Simulator, work_us: float) -> Generator:
+        """Acquire, hold for ``work_us``, release.  ``yield from`` this."""
+        yield self.request()
+        try:
+            if work_us > 0:
+                yield sim.timeout(work_us)
+        finally:
+            self.release()
+
+
+class Store:
+    """A FIFO queue of items with blocking ``get`` and optional capacity.
+
+    ``put`` returns an event that triggers when the item is accepted
+    (immediately unless the store is full).  ``get`` returns an event
+    that triggers with the oldest item.
+    """
+
+    def __init__(self, sim: Simulator, capacity: Optional[int] = None, name: str = ""):
+        if capacity is not None and capacity < 1:
+            raise ValueError(f"capacity must be >= 1 or None, got {capacity}")
+        self.sim = sim
+        self.capacity = capacity
+        self.name = name or "store"
+        self._items: Deque[Any] = deque()
+        self._getters: Deque[Event] = deque()
+        self._putters: Deque[tuple[Event, Any]] = deque()
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    def put(self, item: Any) -> Event:
+        ev = self.sim.event(name=f"put:{self.name}")
+        if self._getters:
+            # Direct handoff to the oldest waiting consumer.
+            getter = self._getters.popleft()
+            getter.succeed(item)
+            ev.succeed(None)
+        elif self.capacity is None or len(self._items) < self.capacity:
+            self._items.append(item)
+            ev.succeed(None)
+        else:
+            self._putters.append((ev, item))
+        return ev
+
+    def get(self) -> Event:
+        ev = self.sim.event(name=f"get:{self.name}")
+        if self._items:
+            item = self._items.popleft()
+            if self._putters:
+                put_ev, pending = self._putters.popleft()
+                self._items.append(pending)
+                put_ev.succeed(None)
+            ev.succeed(item)
+        else:
+            self._getters.append(ev)
+        return ev
+
+    def try_get(self) -> tuple[bool, Any]:
+        """Non-blocking get: ``(True, item)`` or ``(False, None)``."""
+        if not self._items:
+            return False, None
+        item = self._items.popleft()
+        if self._putters:
+            put_ev, pending = self._putters.popleft()
+            self._items.append(pending)
+            put_ev.succeed(None)
+        return True, item

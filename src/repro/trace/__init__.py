@@ -1,0 +1,26 @@
+"""Execution tracing and timeline rendering.
+
+Records per-device kernel executions and renders the ASCII equivalents of
+the paper's trace figures (Figures 9-12): per-core timelines showing
+gang-scheduled interleaving of concurrent programs, pipeline bubbles, and
+DCN-overlapped transfers.  Also computes the quantitative summaries the
+figures support: utilization, proportional-share ratios, and interleave
+granularity.
+"""
+
+from repro.trace.events import TraceEvent, TraceRecorder
+from repro.trace.timeline import (
+    interleave_granularity_us,
+    program_share,
+    utilization_by_device,
+)
+from repro.trace.render import render_timeline
+
+__all__ = [
+    "TraceEvent",
+    "TraceRecorder",
+    "interleave_granularity_us",
+    "program_share",
+    "render_timeline",
+    "utilization_by_device",
+]

@@ -1,0 +1,66 @@
+"""Trace event capture."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Optional
+
+__all__ = ["TraceEvent", "TraceRecorder"]
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """One kernel execution interval on one device."""
+
+    device: int
+    start: float
+    end: float
+    tag: str = ""
+    program: str = ""
+
+    @property
+    def duration(self) -> float:
+        return self.end - self.start
+
+
+class TraceRecorder:
+    """Accumulates :class:`TraceEvent`\\ s from devices.
+
+    Passed to :class:`repro.hw.Device` at construction; recording is
+    opt-in so micro-benchmarks that run millions of kernels can skip it.
+    """
+
+    def __init__(self, enabled: bool = True):
+        self.enabled = enabled
+        self.events: list[TraceEvent] = []
+
+    def record(
+        self, device: int, start: float, end: float, tag: str = "", program: str = ""
+    ) -> None:
+        if not self.enabled:
+            return
+        self.events.append(TraceEvent(device, start, end, tag=tag, program=program))
+
+    def clear(self) -> None:
+        self.events.clear()
+
+    def for_device(self, device: int) -> list[TraceEvent]:
+        return [ev for ev in self.events if ev.device == device]
+
+    def for_program(self, program: str) -> list[TraceEvent]:
+        return [ev for ev in self.events if ev.program == program]
+
+    def devices(self) -> list[int]:
+        return sorted({ev.device for ev in self.events})
+
+    def programs(self) -> list[str]:
+        return sorted({ev.program for ev in self.events if ev.program})
+
+    def span(self) -> tuple[float, float]:
+        """(earliest start, latest end) over all events."""
+        if not self.events:
+            return (0.0, 0.0)
+        return (
+            min(ev.start for ev in self.events),
+            max(ev.end for ev in self.events),
+        )

@@ -1,0 +1,86 @@
+"""Quantitative trace analysis.
+
+These functions compute the numbers the paper's trace figures illustrate:
+per-device utilization (Figure 11: "using multiple clients increases the
+device utilization to ~100%"), per-program device-time shares (Figure 9:
+proportional-share ratios 1:1:1:1 and 1:2:4:8), and the granularity at
+which concurrent programs interleave (Figure 11: "interleaved at a
+millisecond scale or less").
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Optional
+
+from repro.trace.events import TraceRecorder
+
+__all__ = [
+    "interleave_granularity_us",
+    "program_share",
+    "utilization_by_device",
+]
+
+
+def utilization_by_device(
+    trace: TraceRecorder, window: Optional[tuple[float, float]] = None
+) -> dict[int, float]:
+    """Busy fraction per device over ``window`` (default: trace span)."""
+    lo, hi = window if window is not None else trace.span()
+    if hi <= lo:
+        return {dev: 0.0 for dev in trace.devices()}
+    busy: dict[int, float] = defaultdict(float)
+    for ev in trace.events:
+        overlap = min(ev.end, hi) - max(ev.start, lo)
+        if overlap > 0:
+            busy[ev.device] += overlap
+    return {dev: busy[dev] / (hi - lo) for dev in trace.devices()}
+
+
+def program_share(
+    trace: TraceRecorder, window: Optional[tuple[float, float]] = None
+) -> dict[str, float]:
+    """Fraction of total device-time consumed by each program.
+
+    This is the quantity the proportional-share scheduler controls: for
+    target weights 1:2:4:8, the returned shares should be ~1/15, 2/15,
+    4/15, 8/15.
+    """
+    lo, hi = window if window is not None else trace.span()
+    time_by_program: dict[str, float] = defaultdict(float)
+    total = 0.0
+    for ev in trace.events:
+        overlap = min(ev.end, hi) - max(ev.start, lo)
+        if overlap > 0 and ev.program:
+            time_by_program[ev.program] += overlap
+            total += overlap
+    if total == 0:
+        return {}
+    return {prog: t / total for prog, t in sorted(time_by_program.items())}
+
+
+def interleave_granularity_us(trace: TraceRecorder, device: Optional[int] = None) -> float:
+    """Mean length of a same-program run before the device switches program.
+
+    Small values mean fine-grained time-multiplexing (the paper reports
+    millisecond scale or less for 4-16 concurrent clients).
+    """
+    devices = [device] if device is not None else trace.devices()
+    run_lengths: list[float] = []
+    for dev in devices:
+        events = sorted(trace.for_device(dev), key=lambda ev: ev.start)
+        if not events:
+            continue
+        run_start = events[0].start
+        run_prog = events[0].program
+        run_end = events[0].end
+        for ev in events[1:]:
+            if ev.program == run_prog:
+                run_end = ev.end
+            else:
+                run_lengths.append(run_end - run_start)
+                run_start, run_prog, run_end = ev.start, ev.program, ev.end
+        run_lengths.append(run_end - run_start)
+    if not run_lengths:
+        return 0.0
+    return sum(run_lengths) / len(run_lengths)

@@ -1,0 +1,32 @@
+"""Workload generators for the paper's micro-benchmarks.
+
+* :mod:`repro.workloads.microbench` — the §5.1 dispatch-overhead
+  workload (scalar AllReduce + add) in OpByOp / Chained / Fused variants
+  across all four systems (Figures 5, 6, 7).
+* :mod:`repro.workloads.multitenant` — concurrent-client populations
+  time-sharing one island (Figures 8, 9).
+"""
+
+from repro.workloads.microbench import (
+    MicrobenchResult,
+    run_jax,
+    run_pathways,
+    run_pathways_pipeline_chain,
+    run_ray,
+    run_tf,
+)
+from repro.workloads.multitenant import (
+    run_jax_multitenant,
+    run_pathways_multitenant,
+)
+
+__all__ = [
+    "MicrobenchResult",
+    "run_jax",
+    "run_jax_multitenant",
+    "run_pathways",
+    "run_pathways_multitenant",
+    "run_pathways_pipeline_chain",
+    "run_ray",
+    "run_tf",
+]

@@ -1,0 +1,103 @@
+"""Sharding: how logical tensors map onto sets of devices.
+
+Pathways' dataflow representation is *sharded*: a computation node spans
+N devices and its logical inputs/outputs are split (or replicated)
+across them.  The client bookkeeps at logical-buffer granularity (paper
+§4.2); shards only appear at the executor/transfer level.  This module
+provides the shard math both levels share.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+from typing import Sequence
+
+import numpy as np
+
+from repro.xla.shapes import TensorSpec
+
+__all__ = ["DeviceMesh", "Sharding"]
+
+
+@dataclass(frozen=True)
+class DeviceMesh:
+    """An ordered list of device ids a computation is placed on."""
+
+    device_ids: tuple[int, ...]
+
+    def __post_init__(self) -> None:
+        if not self.device_ids:
+            raise ValueError("mesh must contain at least one device")
+        if len(set(self.device_ids)) != len(self.device_ids):
+            raise ValueError(f"duplicate devices in mesh: {self.device_ids}")
+
+    @property
+    def size(self) -> int:
+        return len(self.device_ids)
+
+    def __iter__(self):
+        return iter(self.device_ids)
+
+
+class Sharding(Enum):
+    """Layout of one logical tensor across a mesh.
+
+    * ``REPLICATED`` — every device holds the full tensor.
+    * ``SPLIT_LEADING`` — the leading axis is divided evenly across
+      devices (the data-parallel / batch-sharded layout).
+    """
+
+    REPLICATED = "replicated"
+    SPLIT_LEADING = "split"
+
+    # -- static shard math -------------------------------------------------
+    def shard_spec(self, spec: TensorSpec, n_shards: int) -> TensorSpec:
+        """The TensorSpec of one shard."""
+        if self is Sharding.REPLICATED or n_shards == 1:
+            return spec
+        if not spec.shape:
+            raise ValueError("cannot split a scalar; use REPLICATED")
+        lead = spec.shape[0]
+        if lead % n_shards != 0:
+            raise ValueError(
+                f"leading dim {lead} not divisible by {n_shards} shards"
+            )
+        return spec.with_leading_dim(lead // n_shards)
+
+    def shard_nbytes(self, spec: TensorSpec, n_shards: int) -> int:
+        return self.shard_spec(spec, n_shards).nbytes
+
+    # -- value-level shard math ---------------------------------------------
+    def split(self, array: np.ndarray, n_shards: int) -> list[np.ndarray]:
+        if self is Sharding.REPLICATED or n_shards == 1:
+            return [array] * n_shards
+        if array.shape[0] % n_shards != 0:
+            raise ValueError(
+                f"leading dim {array.shape[0]} not divisible by {n_shards}"
+            )
+        return list(np.split(array, n_shards, axis=0))
+
+    def combine(self, shards: Sequence[np.ndarray]) -> np.ndarray:
+        if self is Sharding.REPLICATED:
+            return shards[0]
+        return np.concatenate(list(shards), axis=0)
+
+    def resharding_bytes(
+        self, spec: TensorSpec, from_shards: int, to_shards: int
+    ) -> int:
+        """Bytes that must move to convert between shard counts.
+
+        Used by the lowering pass that inserts scatter/gather transfers
+        between computations with different sharding (paper §4.2).  A
+        conservative model: the data not already resident at the
+        destination must move once.
+        """
+        if self is Sharding.REPLICATED:
+            # Each destination shard needs the full tensor; assume source
+            # replicas cover min(from, to) destinations for free.
+            missing = max(0, to_shards - from_shards)
+            return missing * spec.nbytes
+        if from_shards == to_shards:
+            return 0
+        return spec.nbytes  # full reshuffle of the split axis

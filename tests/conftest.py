@@ -1,0 +1,57 @@
+"""Shared fixtures for the Pathways reproduction test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.config import DEFAULT_CONFIG, SystemConfig
+from repro.core.system import PathwaysSystem
+from repro.hw.cluster import Cluster, ClusterSpec, make_cluster
+from repro.sim import Simulator
+from repro.xla.shapes import TensorSpec
+
+
+@pytest.fixture
+def sim() -> Simulator:
+    return Simulator()
+
+
+@pytest.fixture
+def config() -> SystemConfig:
+    return DEFAULT_CONFIG
+
+
+@pytest.fixture
+def small_cluster(sim, config) -> Cluster:
+    """2 hosts x 4 devices, one island."""
+    return make_cluster(sim, ClusterSpec(islands=((2, 4),), name="small"), config=config)
+
+
+@pytest.fixture
+def two_island_cluster(sim, config) -> Cluster:
+    """Two islands of 2 hosts x 4 devices."""
+    return make_cluster(
+        sim, ClusterSpec(islands=((2, 4), (2, 4)), name="twin"), config=config
+    )
+
+
+@pytest.fixture
+def small_system() -> PathwaysSystem:
+    """A fresh Pathways system on a 2x4 island."""
+    return PathwaysSystem.build(ClusterSpec(islands=((2, 4),), name="small"))
+
+
+@pytest.fixture
+def two_island_system() -> PathwaysSystem:
+    return PathwaysSystem.build(ClusterSpec(islands=((2, 4), (2, 4)), name="twin"))
+
+
+@pytest.fixture
+def vec2() -> np.ndarray:
+    return np.array([1.0, 2.0], dtype=np.float32)
+
+
+@pytest.fixture
+def spec2() -> TensorSpec:
+    return TensorSpec((2,))

@@ -1,0 +1,231 @@
+"""Tests for the PLAQUE-like sharded dataflow substrate."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.config import DEFAULT_CONFIG
+from repro.hw.cluster import ClusterSpec, make_cluster
+from repro.plaque.channels import BatchingDcnChannel, ShardedChannel
+from repro.plaque.graph import EdgeKind, ShardedGraph
+from repro.plaque.progress import ProgressTracker
+from repro.sim import Simulator
+from repro.xla.computation import scalar_allreduce_add
+
+
+class TestShardedGraph:
+    def test_compact_representation_invariant(self):
+        """The paper's §4.3 requirement: A -> B with N shards each is
+        Arg -> A -> B -> Result (4 nodes, 3 edges) for ANY N."""
+        sizes = {}
+        for n_shards in (1, 16, 4096):
+            g = ShardedGraph()
+            arg = g.add_arg()
+            a = g.add_compute(scalar_allreduce_add(n_shards, 1.0, name="A"))
+            b = g.add_compute(scalar_allreduce_add(n_shards, 1.0, name="B"))
+            res = g.add_result()
+            g.connect(arg, a)
+            g.connect(a, b)
+            g.connect(b, res)
+            sizes[n_shards] = (g.n_nodes, g.n_edges)
+        assert sizes[1] == sizes[16] == sizes[4096] == (4, 3)
+
+    def test_runtime_tuples_scale_with_shards(self):
+        g = ShardedGraph()
+        a = g.add_compute(scalar_allreduce_add(16, 1.0, name="A"))
+        b = g.add_compute(scalar_allreduce_add(16, 1.0, name="B"))
+        g.connect(a, b)
+        assert g.runtime_tuple_count() == 16
+
+    def test_cycle_rejected(self):
+        g = ShardedGraph()
+        a = g.add_compute(scalar_allreduce_add(1, 1.0, name="A"))
+        b = g.add_compute(scalar_allreduce_add(1, 1.0, name="B"))
+        g.connect(a, b)
+        with pytest.raises(ValueError, match="cycle"):
+            g.connect(b, a)
+        # The failed edge must not linger.
+        assert g.n_edges == 1
+
+    def test_unknown_node_rejected(self):
+        g = ShardedGraph()
+        a = g.add_compute(scalar_allreduce_add(1, 1.0))
+        with pytest.raises(KeyError):
+            g.connect(a, 99)
+
+    def test_topological_order(self):
+        g = ShardedGraph()
+        a = g.add_compute(scalar_allreduce_add(1, 1.0, name="A"))
+        b = g.add_compute(scalar_allreduce_add(1, 1.0, name="B"))
+        c = g.add_compute(scalar_allreduce_add(1, 1.0, name="C"))
+        g.connect(a, c)
+        g.connect(b, c)
+        order = g.topological_order()
+        assert order.index(a) < order.index(c)
+        assert order.index(b) < order.index(c)
+
+    def test_validate_requires_inputs(self):
+        g = ShardedGraph()
+        g.add_compute(scalar_allreduce_add(1, 1.0))
+        with pytest.raises(ValueError, match="no in-edges"):
+            g.validate()
+
+    def test_edge_kind_inference(self):
+        g = ShardedGraph()
+        a = g.add_compute(scalar_allreduce_add(4, 1.0, name="A"))
+        b = g.add_compute(scalar_allreduce_add(4, 1.0, name="B"))
+        c = g.add_compute(scalar_allreduce_add(8, 1.0, name="C"))
+        assert g.connect(a, b).kind is EdgeKind.ONE_TO_ONE
+        assert g.connect(a, c).kind is EdgeKind.SCATTER
+
+    def test_predecessors_successors(self):
+        g = ShardedGraph()
+        a = g.add_compute(scalar_allreduce_add(1, 1.0))
+        b = g.add_compute(scalar_allreduce_add(1, 1.0))
+        g.connect(a, b)
+        assert g.predecessors(b) == [a]
+        assert g.successors(a) == [b]
+
+
+class TestProgressTracker:
+    def test_dense_completion(self, sim):
+        tracker = ProgressTracker(sim, n_dst_shards=2, producers=3)
+        for p in range(3):
+            tracker.deliver(p, 0)
+            tracker.deliver(p, 1)
+        assert tracker.is_complete(0) and tracker.is_complete(1)
+        assert tracker.shard_complete(0).value == 3
+
+    def test_sparse_completion_via_punctuation(self, sim):
+        """Only producer 1 sends to shard 0; others punctuate — the
+        MoE-style sparse exchange (paper §4.3)."""
+        tracker = ProgressTracker(sim, n_dst_shards=1, producers=4)
+        tracker.deliver(1, 0)
+        for p in (0, 2, 3):
+            tracker.punctuate(p, 0)
+        assert tracker.is_complete(0)
+        assert tracker.delivered_count(0) == 1
+
+    def test_incomplete_without_punctuation(self, sim):
+        tracker = ProgressTracker(sim, n_dst_shards=1, producers=2)
+        tracker.deliver(0, 0)
+        assert not tracker.is_complete(0)
+
+    def test_punctuate_all(self, sim):
+        tracker = ProgressTracker(sim, n_dst_shards=3, producers=2)
+        tracker.punctuate_all(0)
+        tracker.punctuate_all(1)
+        assert all(tracker.is_complete(s) for s in range(3))
+
+    def test_all_complete_event(self, sim):
+        tracker = ProgressTracker(sim, n_dst_shards=2, producers=1)
+        combined = tracker.all_complete()
+        tracker.deliver(0, 0)
+        assert not combined.triggered
+        tracker.deliver(0, 1)
+        sim.run()
+        assert combined.triggered
+
+    def test_out_of_range_rejected(self, sim):
+        tracker = ProgressTracker(sim, n_dst_shards=1, producers=1)
+        with pytest.raises(IndexError):
+            tracker.deliver(5, 0)
+        with pytest.raises(IndexError):
+            tracker.deliver(0, 5)
+
+    @given(
+        n_shards=st.integers(1, 6),
+        producers=st.integers(1, 6),
+        data=st.data(),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_completion_iff_every_producer_resolved(self, n_shards, producers, data):
+        """A shard completes exactly when every producer has delivered
+        (final) or punctuated for it — never before."""
+        sim = Simulator()
+        tracker = ProgressTracker(sim, n_shards, producers)
+        resolved = {s: set() for s in range(n_shards)}
+        actions = data.draw(
+            st.lists(
+                st.tuples(
+                    st.integers(0, producers - 1),
+                    st.integers(0, n_shards - 1),
+                    st.booleans(),
+                ),
+                max_size=40,
+            )
+        )
+        for producer, shard, is_delivery in actions:
+            if is_delivery:
+                tracker.deliver(producer, shard)
+            else:
+                tracker.punctuate(producer, shard)
+            resolved[shard].add(producer)
+            for s in range(n_shards):
+                assert tracker.is_complete(s) == (len(resolved[s]) == producers)
+
+
+class TestShardedChannel:
+    def test_tagged_delivery(self, sim):
+        ch = ShardedChannel(sim, n_dst_shards=2, producers=1)
+        ch.put(0, 1, "for-shard-1")
+        ch.put(0, 0, "for-shard-0", final=True)
+        assert ch.get(0).value.payload == "for-shard-0"
+        assert ch.get(1).value.payload == "for-shard-1"
+
+    def test_drain(self, sim):
+        ch = ShardedChannel(sim, n_dst_shards=1, producers=2)
+        ch.put(0, 0, "a", final=False)
+        ch.put(0, 0, "b", final=True)
+        assert ch.drain(0) == ["a", "b"]
+
+    def test_completion_follows_progress(self, sim):
+        ch = ShardedChannel(sim, n_dst_shards=1, producers=2)
+        ch.put(0, 0, "x")
+        assert not ch.shard_complete(0).triggered
+        ch.punctuate(1, 0)
+        assert ch.shard_complete(0).triggered
+
+
+class TestBatchingDcnChannel:
+    def _make(self, sim, window=None):
+        config = DEFAULT_CONFIG if window is None else DEFAULT_CONFIG.with_overrides(
+            dcn_batch_window_us=window
+        )
+        cluster = make_cluster(sim, ClusterSpec(islands=((2, 1),)), config=config)
+        src, dst = cluster.hosts
+        return BatchingDcnChannel(sim, cluster.dcn, config, src), dst
+
+    def test_messages_in_window_batch(self, sim):
+        chan, dst = self._make(sim)
+        arrivals = [chan.send(dst, 256) for _ in range(10)]
+        sim.run_until_triggered(sim.all_of(arrivals))
+        assert chan.logical_messages == 10
+        assert chan.physical_messages == 1
+        assert chan.batching_ratio == 10.0
+
+    def test_zero_window_sends_eagerly(self, sim):
+        chan, dst = self._make(sim, window=0.0)
+        arrivals = [chan.send(dst, 256) for _ in range(5)]
+        sim.run_until_triggered(sim.all_of(arrivals))
+        assert chan.physical_messages == 5
+
+    def test_batching_adds_bounded_latency(self, sim):
+        chan, dst = self._make(sim)
+        ev = chan.send(dst, 256)
+        sim.run_until_triggered(ev)
+        config = DEFAULT_CONFIG
+        assert sim.now <= config.dcn_batch_window_us + config.dcn_latency_us + 1.0
+
+    def test_separate_windows_for_spaced_messages(self, sim):
+        chan, dst = self._make(sim)
+
+        def proc():
+            yield chan.send(dst, 256)
+            yield sim.timeout(1000.0)
+            yield chan.send(dst, 256)
+
+        sim.run_until_triggered(sim.process(proc()))
+        assert chan.physical_messages == 2

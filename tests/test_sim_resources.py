@@ -1,0 +1,169 @@
+"""Unit tests for Resource and Store primitives."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.sim import Resource, Simulator, Store
+
+
+class TestResource:
+    def test_grant_within_capacity_is_immediate(self, sim):
+        res = Resource(sim, capacity=2)
+        assert res.request().triggered
+        assert res.request().triggered
+        assert res.in_use == 2
+
+    def test_excess_requests_queue(self, sim):
+        res = Resource(sim, capacity=1)
+        res.request()
+        second = res.request()
+        assert not second.triggered
+        assert res.queue_len == 1
+        res.release()
+        assert second.triggered
+        assert res.in_use == 1
+
+    def test_fifo_grant_order(self, sim):
+        res = Resource(sim, capacity=1)
+        res.request()
+        waiters = [res.request() for _ in range(3)]
+        res.release()
+        assert waiters[0].triggered and not waiters[1].triggered
+        res.release()
+        assert waiters[1].triggered and not waiters[2].triggered
+
+    def test_release_idle_rejected(self, sim):
+        res = Resource(sim, capacity=1)
+        with pytest.raises(RuntimeError, match="idle"):
+            res.release()
+
+    def test_invalid_capacity(self, sim):
+        with pytest.raises(ValueError):
+            Resource(sim, capacity=0)
+
+    def test_using_holds_for_duration(self, sim):
+        res = Resource(sim, capacity=1)
+        spans = []
+
+        def worker(name):
+            start = sim.now
+            yield from res.using(sim, 10.0)
+            spans.append((name, start, sim.now))
+
+        sim.process(worker("a"))
+        sim.process(worker("b"))
+        sim.run()
+        # b cannot start until a releases: completion at 10 then 20.
+        assert spans == [("a", 0.0, 10.0), ("b", 0.0, 20.0)]
+
+    def test_busy_time_accounting(self, sim):
+        res = Resource(sim, capacity=2)
+
+        def worker():
+            yield from res.using(sim, 10.0)
+
+        sim.process(worker())
+        sim.process(worker())
+        sim.run()
+        assert res.busy_time() == pytest.approx(20.0)
+
+    def test_using_releases_on_exception(self, sim):
+        res = Resource(sim, capacity=1)
+
+        def bad():
+            gen = res.using(sim, 10.0)
+            yield next(gen)
+            raise RuntimeError("boom")
+            yield  # pragma: no cover
+
+        # Manually verify release on generator close (finally clause).
+        def worker():
+            try:
+                yield from bad()
+            except RuntimeError:
+                pass
+
+        sim.process(worker())
+        sim.run(detect_deadlock=False)
+        # The direct request below should not hang behind a leaked hold.
+        ev = res.request()
+        assert ev.triggered or res.in_use <= 1
+
+
+class TestStore:
+    def test_put_then_get(self, sim):
+        store = Store(sim)
+        store.put("x")
+        got = store.get()
+        assert got.triggered and got.value == "x"
+
+    def test_get_blocks_until_put(self, sim):
+        store = Store(sim)
+        got = store.get()
+        assert not got.triggered
+        store.put("y")
+        assert got.triggered and got.value == "y"
+
+    def test_fifo_item_order(self, sim):
+        store = Store(sim)
+        for item in ("a", "b", "c"):
+            store.put(item)
+        assert [store.get().value for _ in range(3)] == ["a", "b", "c"]
+
+    def test_fifo_getter_order(self, sim):
+        store = Store(sim)
+        getters = [store.get() for _ in range(3)]
+        for item in ("a", "b", "c"):
+            store.put(item)
+        assert [g.value for g in getters] == ["a", "b", "c"]
+
+    def test_capacity_blocks_put(self, sim):
+        store = Store(sim, capacity=1)
+        first = store.put("a")
+        second = store.put("b")
+        assert first.triggered and not second.triggered
+        assert store.get().value == "a"
+        assert second.triggered
+        assert store.get().value == "b"
+
+    def test_try_get(self, sim):
+        store = Store(sim)
+        ok, item = store.try_get()
+        assert not ok and item is None
+        store.put("z")
+        ok, item = store.try_get()
+        assert ok and item == "z"
+
+    def test_len(self, sim):
+        store = Store(sim)
+        assert len(store) == 0
+        store.put(1)
+        store.put(2)
+        assert len(store) == 2
+
+    def test_invalid_capacity(self, sim):
+        with pytest.raises(ValueError):
+            Store(sim, capacity=0)
+
+    def test_producer_consumer_pipeline(self, sim):
+        store = Store(sim, capacity=2)
+        consumed = []
+
+        def producer():
+            for i in range(5):
+                yield store.put(i)
+                yield sim.timeout(1.0)
+
+        def consumer():
+            for _ in range(5):
+                item = yield store.get()
+                consumed.append((item, sim.now))
+                yield sim.timeout(3.0)
+
+        sim.process(producer())
+        sim.process(consumer())
+        sim.run()
+        assert [i for i, _ in consumed] == [0, 1, 2, 3, 4]
+        # Consumer is the bottleneck: items arrive every 3us after warmup.
+        assert consumed[-1][1] == pytest.approx(12.0)

@@ -1,0 +1,103 @@
+"""Tests for trace recording, analysis, and rendering."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.trace.events import TraceEvent, TraceRecorder
+from repro.trace.render import render_timeline
+from repro.trace.timeline import (
+    interleave_granularity_us,
+    program_share,
+    utilization_by_device,
+)
+
+
+def make_trace():
+    trace = TraceRecorder()
+    # Device 0: A [0,10], B [10,20], A [20,30]
+    trace.record(0, 0.0, 10.0, program="A")
+    trace.record(0, 10.0, 20.0, program="B")
+    trace.record(0, 20.0, 30.0, program="A")
+    # Device 1: A [0,15], idle [15,30]
+    trace.record(1, 0.0, 15.0, program="A")
+    return trace
+
+
+class TestRecorder:
+    def test_span(self):
+        assert make_trace().span() == (0.0, 30.0)
+
+    def test_filters(self):
+        trace = make_trace()
+        assert len(trace.for_device(0)) == 3
+        assert len(trace.for_program("A")) == 3
+        assert trace.devices() == [0, 1]
+        assert trace.programs() == ["A", "B"]
+
+    def test_disabled_recorder_drops_events(self):
+        trace = TraceRecorder(enabled=False)
+        trace.record(0, 0.0, 1.0)
+        assert trace.events == []
+
+    def test_clear(self):
+        trace = make_trace()
+        trace.clear()
+        assert trace.span() == (0.0, 0.0)
+
+    def test_event_duration(self):
+        assert TraceEvent(0, 2.0, 5.0).duration == 3.0
+
+
+class TestAnalysis:
+    def test_utilization(self):
+        util = utilization_by_device(make_trace())
+        assert util[0] == pytest.approx(1.0)
+        assert util[1] == pytest.approx(0.5)
+
+    def test_utilization_with_window(self):
+        util = utilization_by_device(make_trace(), window=(0.0, 15.0))
+        assert util[0] == pytest.approx(1.0)
+        assert util[1] == pytest.approx(1.0)
+
+    def test_program_share(self):
+        shares = program_share(make_trace())
+        assert shares["A"] == pytest.approx(35 / 45)
+        assert shares["B"] == pytest.approx(10 / 45)
+
+    def test_program_share_empty(self):
+        assert program_share(TraceRecorder()) == {}
+
+    def test_interleave_granularity(self):
+        # Device 0 runs: A(10), B(10), A(10) -> mean run 10.
+        g = interleave_granularity_us(make_trace(), device=0)
+        assert g == pytest.approx(10.0)
+
+    def test_granularity_merges_adjacent_same_program(self):
+        trace = TraceRecorder()
+        trace.record(0, 0.0, 5.0, program="A")
+        trace.record(0, 5.0, 10.0, program="A")
+        trace.record(0, 10.0, 20.0, program="B")
+        assert interleave_granularity_us(trace, device=0) == pytest.approx(10.0)
+
+
+class TestRender:
+    def test_rows_and_legend(self):
+        out = render_timeline(make_trace(), width=30)
+        lines = out.splitlines()
+        assert any(line.startswith("core    0") for line in lines)
+        assert any(line.startswith("core    1") for line in lines)
+        assert "legend:" in lines[-1]
+        assert "A=A" in lines[-1]
+
+    def test_idle_shown_as_dots(self):
+        out = render_timeline(make_trace(), width=30)
+        row1 = [l for l in out.splitlines() if l.startswith("core    1")][0]
+        assert "." in row1
+
+    def test_empty_trace(self):
+        assert render_timeline(TraceRecorder()) == "(empty trace)"
+
+    def test_device_filter(self):
+        out = render_timeline(make_trace(), width=10, devices=[1])
+        assert "core    0" not in out
