@@ -8,8 +8,6 @@ efficiently.  This bench demonstrates both halves.
 
 from __future__ import annotations
 
-import pytest
-
 from repro.bench.harness import Table
 from repro.config import DEFAULT_CONFIG
 from repro.hw.cluster import ClusterSpec, make_cluster

@@ -11,8 +11,6 @@ from __future__ import annotations
 
 import time
 
-import pytest
-
 from repro.bench.harness import Table
 from repro.config import DEFAULT_CONFIG
 from repro.plaque.graph import ShardedGraph

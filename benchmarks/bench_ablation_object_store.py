@@ -9,15 +9,11 @@ three data-management regimes.
 
 from __future__ import annotations
 
-import pytest
-
 from repro.bench.harness import Table
 from repro.config import DEFAULT_CONFIG
 from repro.hw.cluster import ClusterSpec, make_cluster
 from repro.hw.device import Kernel
 from repro.sim import Simulator
-from repro.workloads.microbench import run_pathways
-from repro.xla.computation import scalar_allreduce_add
 
 N_STEPS = 60
 RESULT_BYTES = 4 << 20  # 4 MiB intermediate, to make movement visible
@@ -31,7 +27,6 @@ def run_regime(regime: str) -> float:
     config = DEFAULT_CONFIG
     cluster = make_cluster(sim, ClusterSpec(islands=((2, 4),)), config=config)
     dev = cluster.devices[0]
-    host = cluster.hosts[0]
 
     def driver():
         for _ in range(N_STEPS):

@@ -11,10 +11,10 @@ from __future__ import annotations
 
 import pytest
 
-from repro.bench.harness import Series, Table, geometric_range
+from repro.bench.harness import Series, Table, full_asserts, geometric_range
 from repro.workloads.microbench import run_jax, run_pathways, run_ray, run_tf
 
-HOSTS = geometric_range(2, 512)
+HOSTS = geometric_range(2, 512, smoke_stop=8)
 
 
 def sweep() -> list[Series]:
@@ -51,15 +51,22 @@ def test_fig5_dispatch_overhead(benchmark):
     table.show()
 
     by = {s.label: s for s in all_series}
-    # The paper's claims, checked at full scale:
+    # Smoke-safe sanity: every series produced a positive throughput at
+    # every swept host count.
+    for s in all_series:
+        assert len(s.points) == len(HOSTS)
+        assert all(y > 0 for _, y in s.points), s.label
     # PW-F matches JAX-F for small host counts.
     assert by["PW-F"].y_at(2) == pytest.approx(by["JAX-F"].y_at(2), rel=0.25)
-    # PW-C outperforms JAX-O up to ~256 cores (64 hosts at 4/host).
-    assert by["PW-C"].y_at(64) > by["JAX-O"].y_at(64)
     # Single-controller systems (TF, Ray OpByOp) trail Pathways everywhere.
     for h in HOSTS:
         assert by["PW-C"].y_at(h) > by["TF-C"].y_at(h)
         assert by["PW-C"].y_at(h) > by["Ray-O"].y_at(h)
+    if not full_asserts():
+        return
+    # The paper's claims, checked at full scale:
+    # PW-C outperforms JAX-O up to ~256 cores (64 hosts at 4/host).
+    assert by["PW-C"].y_at(64) > by["JAX-O"].y_at(64)
     # TF-O is the worst series at scale.
     others = [s for s in all_series if s.label != "TF-O"]
     assert all(by["TF-O"].y_at(512) < s.y_at(512) for s in others)

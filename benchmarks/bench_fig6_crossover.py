@@ -8,15 +8,13 @@ the PW/JAX throughput ratio and the measured convergence point.  Paper:
 
 from __future__ import annotations
 
-import pytest
-
-from repro.bench.harness import Table
+from repro.bench.harness import Table, full_asserts, smoke_trim
 from repro.core.system import PathwaysSystem
 from repro.workloads.microbench import _spec, run_jax
 from repro.xla.computation import scalar_allreduce_add
 
-SWEEP_MS = [0.1, 0.33, 1.0, 2.4, 5.0, 10.0, 20.0, 35.0, 50.0, 100.0]
-CONFIGS = [(16, 8, "B"), (512, 4, "A")]
+SWEEP_MS = smoke_trim([0.1, 0.33, 1.0, 2.4, 5.0, 10.0, 20.0, 35.0, 50.0, 100.0], keep=5)
+CONFIGS = smoke_trim([(16, 8, "B"), (512, 4, "A")], keep=1)
 PARITY = 0.90
 
 
@@ -70,13 +68,16 @@ def test_fig6_crossover(benchmark):
         table.show()
 
     conv_b = convergence_ms(results["B"])
-    conv_a = convergence_ms(results["A"])
     print(
         f"\nconvergence (PW >= {PARITY:.0%} of JAX): config B {conv_b} ms "
-        f"(paper ~2.4 ms), config A {conv_a} ms (paper ~35 ms)"
+        f"(paper ~2.4 ms)"
     )
-    # Shape: parity exists, and the parity point grows ~15x from 16 to
-    # 512 hosts.
+    # Parity exists at config B even in the smoke sweep (~2.4 ms point).
     assert conv_b <= 5.0
+    if not full_asserts():
+        return
+    conv_a = convergence_ms(results["A"])
+    print(f"convergence config A: {conv_a} ms (paper ~35 ms)")
+    # Shape: the parity point grows ~15x from 16 to 512 hosts.
     assert 20.0 <= conv_a <= 100.0
     assert conv_a > 5 * conv_b

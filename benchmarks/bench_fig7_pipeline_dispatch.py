@@ -10,11 +10,11 @@ from __future__ import annotations
 
 import pytest
 
-from repro.bench.harness import Table
+from repro.bench.harness import Table, full_asserts, geometric_range
 from repro.core.system import DispatchMode
 from repro.workloads.microbench import run_pathways_pipeline_chain
 
-STAGES = [1, 2, 4, 8, 16, 32, 64, 128]
+STAGES = geometric_range(1, 128, smoke_stop=4)
 
 
 def sweep():
@@ -41,6 +41,8 @@ def test_fig7_parallel_vs_sequential(benchmark):
     # Both modes converge at one stage.
     p1, s1 = by_stage[1]
     assert p1 == pytest.approx(s1, rel=0.25)
+    if not full_asserts():
+        return
     # Parallel dispatch amortizes the fixed client overhead with stages...
     assert by_stage[16][0] > 4 * p1
     # ...while sequential stays flat.

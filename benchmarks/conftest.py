@@ -6,7 +6,21 @@ in the *simulator itself* are visible) and prints the same rows/series
 the paper reports.  The terminal-summary hook below re-emits each
 bench's captured stdout after the run, so the paper-style tables appear
 even without ``-s`` (e.g. when piping to a log file).
+
+Smoke mode: ``REPRO_BENCH_SMOKE=1`` shrinks every sweep (via
+``repro.bench.harness.geometric_range`` / ``smoke_trim``) and skips the
+paper-calibrated full-scale assertions, so the complete suite finishes
+in well under two minutes.  CI runs every bench in smoke mode on every
+push; run without the variable to reproduce the paper's numbers.
 """
+
+from repro.bench.harness import smoke_mode
+
+
+def pytest_report_header(config):
+    if smoke_mode():
+        return "repro bench suite: SMOKE mode (REPRO_BENCH_SMOKE=1) — shrunken sweeps"
+    return "repro bench suite: full mode — paper-scale sweeps"
 
 
 def pytest_terminal_summary(terminalreporter):

@@ -15,8 +15,7 @@ representative-host aggregation identical to the one
 
 from __future__ import annotations
 
-import math
-from typing import Generator, Optional, Sequence
+from typing import Generator, Optional
 
 import numpy as np
 
@@ -93,7 +92,6 @@ class MultiControllerJax:
         Yields from a simulation process; returns the final logical value.
         """
         cfg = self.config
-        dev = self.group.devices[0]
         in_flight: list[Event] = []
         for _ in range(n_steps):
             # Per-step Python dispatch on every controller (parallel

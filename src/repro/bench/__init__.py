@@ -1,5 +1,19 @@
-"""Shared benchmark-harness utilities (table/series formatting)."""
+"""Shared benchmark-harness utilities (table/series formatting, smoke mode)."""
 
-from repro.bench.harness import Series, Table, geometric_range
+from repro.bench.harness import (
+    Series,
+    Table,
+    full_asserts,
+    geometric_range,
+    smoke_mode,
+    smoke_trim,
+)
 
-__all__ = ["Series", "Table", "geometric_range"]
+__all__ = [
+    "Series",
+    "Table",
+    "full_asserts",
+    "geometric_range",
+    "smoke_mode",
+    "smoke_trim",
+]

@@ -1,17 +1,67 @@
-"""Formatting helpers so every bench prints the paper's rows/series."""
+"""Formatting helpers so every bench prints the paper's rows/series,
+plus the CI smoke mode.
+
+Setting ``REPRO_BENCH_SMOKE=1`` in the environment puts the whole bench
+suite into *smoke mode*: sweep ranges shrink (via
+:func:`geometric_range`'s ``smoke_stop`` / :func:`smoke_trim`), and the
+calibrated full-scale assertions are skipped (via :func:`full_asserts`)
+because the paper's numeric claims only hold at full scale.  Every bench
+still executes its complete code path end to end, so figure
+reproductions can never silently rot — the smoke sweep is what CI runs
+on every push.
+"""
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass, field
-from typing import Any, Iterable, Optional, Sequence
+from typing import Any, Optional, Sequence
 
-__all__ = ["Series", "Table", "geometric_range"]
+__all__ = [
+    "Series",
+    "Table",
+    "full_asserts",
+    "geometric_range",
+    "smoke_mode",
+    "smoke_trim",
+]
 
 
-def geometric_range(start: int, stop: int, factor: int = 2) -> list[int]:
-    """[start, start*factor, ...] up to and including stop."""
+def smoke_mode() -> bool:
+    """True when the suite runs in CI smoke mode (REPRO_BENCH_SMOKE=1)."""
+    return os.environ.get("REPRO_BENCH_SMOKE", "") == "1"
+
+
+def full_asserts() -> bool:
+    """True when the paper-calibrated assertions should be checked.
+
+    Smoke mode shrinks sweeps below the scales where the paper's claims
+    hold, so those assertions are gated on this.
+    """
+    return not smoke_mode()
+
+
+def smoke_trim(values: Sequence, keep: int = 3) -> list:
+    """In smoke mode, keep only the first ``keep`` entries of a sweep."""
+    values = list(values)
+    if smoke_mode():
+        return values[:keep]
+    return values
+
+
+def geometric_range(
+    start: int, stop: int, factor: int = 2, smoke_stop: Optional[int] = None
+) -> list[int]:
+    """[start, start*factor, ...] up to and including stop.
+
+    In smoke mode the range ends at ``smoke_stop`` instead (default:
+    ``start * factor``, i.e. two points), shrinking CI sweeps while
+    keeping the sweep structure intact.
+    """
     if start < 1 or factor < 2:
         raise ValueError("start >= 1 and factor >= 2 required")
+    if smoke_mode():
+        stop = min(stop, smoke_stop if smoke_stop is not None else start * factor)
     out = []
     v = start
     while v <= stop:

@@ -27,7 +27,7 @@ Sources for the defaults:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
+from dataclasses import dataclass, replace
 
 __all__ = ["SystemConfig", "DEFAULT_CONFIG"]
 

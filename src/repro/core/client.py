@@ -161,8 +161,17 @@ class PathwaysClient:
         args: Sequence[np.ndarray] = (),
         mode: Optional[DispatchMode] = None,
         compute_values: bool = True,
+        retry_on_failure: bool = False,
+        max_attempts: int = 8,
+        checkpoint=None,
     ) -> ProgramExecution:
-        """Asynchronously submit one execution; returns immediately."""
+        """Asynchronously submit one execution; returns immediately.
+
+        With ``retry_on_failure`` the execution supervises its nodes and,
+        on a device loss, waits for the system's RecoveryManager to remap
+        its slices, then replays the nodes not covered by ``checkpoint``.
+        Resilient drivers wait on ``execution.finished``.
+        """
         low = self.lower(program)
         execution = ProgramExecution(
             self.system,
@@ -171,6 +180,9 @@ class PathwaysClient:
             tuple(np.asarray(a) for a in args),
             mode=mode if mode is not None else self.system.default_mode,
             compute_values=compute_values,
+            retry_on_failure=retry_on_failure,
+            max_attempts=max_attempts,
+            checkpoint=checkpoint,
         )
         self.system.sim.process(execution.run(), name=f"dispatch:{execution.name}")
         self.programs_submitted += 1
@@ -220,7 +232,6 @@ class PathwaysClient:
     ):
         """Generator process: keep up to ``max_in_flight`` executions live
         (idiomatic asynchronous-dispatch usage)."""
-        sim = self.system.sim
         in_flight: list[ProgramExecution] = []
         for _ in range(n_iters):
             execution = self.submit(program, args, mode=mode, compute_values=False)

@@ -31,15 +31,28 @@ import numpy as np
 from repro.core.executor import NodeExecutor
 from repro.core.futures import PathwaysFuture
 from repro.core.ir import LowLevelNode, LowLevelProgram, TransferRoute
-from repro.core.object_store import MemorySpace
+from repro.core.object_store import MemorySpace, ObjectHandle
 from repro.core.program import unflatten
+from repro.hw.device import DeviceFailure
 from repro.sim import Event
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.core.system import PathwaysSystem
     from repro.core.client import PathwaysClient
 
-__all__ = ["DispatchMode", "ProgramExecution"]
+__all__ = ["DispatchMode", "ExecutionAbandoned", "ProgramExecution"]
+
+
+class ExecutionAbandoned(RuntimeError):
+    """A retrying execution ran out of attempts (or had no recovery)."""
+
+    def __init__(self, name: str, attempts: int, cause: BaseException):
+        super().__init__(
+            f"execution {name} abandoned after {attempts} attempt(s): {cause!r}"
+        )
+        self.execution_name = name
+        self.attempts = attempts
+        self.cause = cause
 
 _exec_ids = itertools.count(1)
 
@@ -60,6 +73,9 @@ class ProgramExecution:
         args: tuple[np.ndarray, ...],
         mode: DispatchMode = DispatchMode.PARALLEL,
         compute_values: bool = True,
+        retry_on_failure: bool = False,
+        max_attempts: int = 8,
+        checkpoint=None,
     ):
         self.system = system
         self.sim = system.sim
@@ -69,18 +85,40 @@ class ProgramExecution:
         self.args = args
         self.mode = mode
         self.compute_values = compute_values
+        #: Fault-tolerant mode: supervise node completion, and on a
+        #: device loss recover (remap + re-lower) and replay lost nodes.
+        #: Requires a :class:`~repro.resilience.RecoveryManager` attached
+        #: to the system.
+        self.retry_on_failure = retry_on_failure
+        self.max_attempts = max_attempts
+        #: Optional checkpoint cost model (duck-typed: needs
+        #: ``last_checkpoint_us`` and ``restore_cost_us()``); nodes that
+        #: completed before the last checkpoint are not replayed.
+        self.checkpoint = checkpoint
+        self.attempts = 0
         self.exec_id = next(_exec_ids)
         self.name = f"{low.name}#{self.exec_id}"
 
         #: Fires once the controller has enqueued everything and holds
         #: the output handles (what an OpByOp client waits for).
         self.handles_ready: Event = self.sim.event(name=f"handles:{self.name}")
+        #: Retry mode only: fires when every node has completed (after
+        #: any replays), or fails with :class:`ExecutionAbandoned`.
+        #: Resilient drivers wait on this instead of :attr:`done`, whose
+        #: constituent events are replaced across replays.
+        self.finished: Event = self.sim.event(name=f"finished:{self.name}")
         #: Per-result futures (logical buffers in the object store).
         self.result_futures: list[PathwaysFuture] = []
         self._executors: dict[int, NodeExecutor] = {}
         self._node_values: dict[int, tuple[np.ndarray, ...]] = {}
         self._node_done: dict[int, Event] = {}
         self._gates: dict[int, Event] = {}
+        #: Completion time per node, for checkpoint-relative replay.
+        self._completed_at: dict[int, float] = {}
+        #: Nodes actually handed to the islands in the current attempt
+        #: (sequential dispatch stops early on a failure; undispatched
+        #: nodes have no in-flight work to quiesce).
+        self._dispatched: set[int] = set()
 
         for node in low.nodes:
             ex = NodeExecutor(
@@ -116,19 +154,61 @@ class ProgramExecution:
 
     # -- the controller-side driver process -----------------------------------
     def run(self) -> Generator:
-        low = self.low
-        cfg = self.config
-        n_nodes = len(low.nodes)
-        hosts = low.total_hosts_logical
-
         # Parallel scheduling is only sound for regular compiled
         # functions; with any irregular node the controller cannot plan
         # ahead and falls back to the traditional model (paper §4.5).
         if self.mode is DispatchMode.PARALLEL and any(
-            not node.computation.is_regular for node in low.nodes
+            not node.computation.is_regular for node in self.low.nodes
         ):
             self.mode = DispatchMode.SEQUENTIAL
 
+        failure: Optional[BaseException] = None
+        try:
+            yield from self._dispatch_once(self.low.nodes, first=True)
+        except Exception as exc:  # noqa: BLE001 - sequential-mode loss
+            if not self.retry_on_failure:
+                raise
+            failure = exc
+        self.system.programs_dispatched += 1
+        if not self.handles_ready.triggered:
+            self.handles_ready.succeed(None)
+        if not self.retry_on_failure:
+            return
+
+        # Fault-tolerant supervision: wait for every node; on a device
+        # loss, recover (remap + re-lower) and replay the lost nodes.
+        while True:
+            if failure is None:
+                try:
+                    yield self.done
+                except Exception as exc:  # noqa: BLE001 - loss triggers replay
+                    failure = exc
+            if failure is None:
+                self.finished.succeed(None)
+                return
+            if self.attempts >= self.max_attempts or self.system.recovery is None:
+                self.finished.fail(ExecutionAbandoned(self.name, self.attempts, failure))
+                return
+            cause, failure = failure, None
+            try:
+                yield from self._recover_and_replay(cause)
+            except DeviceFailure as exc:
+                # A fresh fault struck during the replay itself (e.g.
+                # sequential dispatch waits on nodes inline).  Feed it
+                # back into the loop so the remaining max_attempts
+                # budget applies, exactly as in parallel mode.
+                failure = exc
+            except Exception as exc:  # noqa: BLE001 - remap exhausted, etc.
+                self.finished.fail(ExecutionAbandoned(self.name, self.attempts, exc))
+                return
+
+    def _dispatch_once(self, nodes: list[LowLevelNode], first: bool) -> Generator:
+        """One controller pass over ``nodes`` (all of them on the first
+        attempt; the lost subset on replays)."""
+        self.attempts += 1
+        cfg = self.config
+        n_nodes = len(nodes)
+        hosts = self.low.total_hosts_logical
         yield self.client.controller.request()
         try:
             if self.mode is DispatchMode.PARALLEL:
@@ -142,41 +222,45 @@ class ProgramExecution:
                     + cfg.coordinator_node_per_host_us * n_nodes * hosts
                 )
                 yield self.sim.timeout(controller_us)
-                yield from self._dispatch_parallel()
+                yield from self._dispatch_parallel(nodes, seed_args=first)
             else:
-                yield from self._dispatch_sequential()
+                yield from self._dispatch_sequential(nodes, seed_args=first)
         finally:
             self.client.controller.release()
-        self.system.programs_dispatched += 1
-        self.handles_ready.succeed(None)
 
     # -- parallel asynchronous dispatch ----------------------------------------
-    def _dispatch_parallel(self) -> Generator:
+    def _dispatch_parallel(self, nodes: list[LowLevelNode], seed_args: bool = True) -> Generator:
         # One subgraph-describing message per island (minimizes traffic,
         # paper §4.5); the controller does not wait for completions.
         yield self.sim.timeout(self.config.dcn_latency_us)
-        self._wire_dataflow()
-        procs = [
+        self._wire_dataflow(nodes, seed_args=seed_args)
+        for node in nodes:
+            self._dispatched.add(node.node_id)
             self.sim.process(self._run_node(node), name=f"node:{node.label}")
-            for node in self.low.nodes
-        ]
         # The controller thread is released as soon as the subgraph
         # message is out; node processes run island-side.
         return
 
     def _run_node(self, node: LowLevelNode) -> Generator:
         ex = self._executors[node.node_id]
-        yield self.sim.process(ex.prep(), name=f"prep:{node.label}")
-        self._attach_result_handles(node.node_id)
-        scheduler = self.system.scheduler_for(node.group.island)
-        req = scheduler.submit(
-            client=self.client.name,
-            program=self.low.name,
-            node_label=f"{self.name}:{node.label}",
-            cost_us=node.computation.compute_time_us(self.config),
-            device_ids=tuple(d.device_id for d in node.group.devices),
-        )
-        yield req.grant
+        try:
+            yield self.sim.process(ex.prep(), name=f"prep:{node.label}")
+            self._attach_result_handles(node.node_id)
+            scheduler = self.system.scheduler_for(node.group.island)
+            req = scheduler.submit(
+                client=self.client.name,
+                program=self.low.name,
+                node_label=f"{self.name}:{node.label}",
+                cost_us=node.computation.compute_time_us(self.config),
+                device_ids=tuple(d.device_id for d in node.group.devices),
+            )
+            yield req.grant
+        except Exception as exc:  # noqa: BLE001 - grant evicted / prep lost
+            # Settle the node's completion event so supervisors observe
+            # the loss instead of waiting forever.
+            if not ex.all_kernels_done.triggered:
+                ex.all_kernels_done.fail(exc)
+            return
         gate = self._gates.get(node.node_id)
         ex.enqueue(gate=gate)
         req.enqueued_ack.succeed(None)
@@ -187,16 +271,17 @@ class ProgramExecution:
             yield self.sim.timeout(pcie)
 
     # -- sequential dispatch (Figure 4a) ---------------------------------------
-    def _dispatch_sequential(self) -> Generator:
+    def _dispatch_sequential(self, nodes: list[LowLevelNode], seed_args: bool = True) -> Generator:
         """The traditional single-controller model: every node is a
         standalone dispatch.  The controller cannot plan ahead (it
         behaves as if resource requirements only become known when the
         predecessor finishes), so per node it pays a full planning pass,
         ships the dispatch over DCN, waits for prep, enqueue, *and
         completion*, and only then turns to the next node."""
-        self._wire_dataflow()
+        self._wire_dataflow(nodes, seed_args=seed_args)
         cfg = self.config
-        for node in self.low.nodes:
+        for node in nodes:
+            self._dispatched.add(node.node_id)
             ex = self._executors[node.node_id]
             controller_us = (
                 cfg.coordinator_base_us
@@ -230,33 +315,44 @@ class ProgramExecution:
                 yield self.sim.timeout(cfg.sequential_node_overhead_us)
 
     # -- dataflow wiring ----------------------------------------------------
-    def _wire_dataflow(self) -> None:
-        """Create gates and transfer processes for inter-node edges."""
-        for node in self.low.nodes:
+    def _wire_dataflow(self, nodes: list[LowLevelNode], seed_args: bool = True) -> None:
+        """Create gates and transfer processes for inter-node edges.
+
+        On replay attempts ``nodes`` is the lost subset: their gates and
+        transfers are rebuilt against the (possibly pre-triggered)
+        completion events of preserved producers.
+        """
+        for node in nodes:
             if node.incoming:
                 self._gates[node.node_id] = self.sim.event(
                     name=f"gate:{self.name}:{node.label}"
                 )
-        for node in self.low.nodes:
+        for node in nodes:
             if not node.incoming:
                 continue
             self.sim.process(
                 self._feed_node(node), name=f"xfer:{self.name}:{node.label}"
             )
         # Arg values seed the logical evaluation.
-        if self.compute_values:
+        if seed_args and self.compute_values:
             arg_nodes = self.low.source.arg_nodes
             for arg_node, value in zip(arg_nodes, self.args):
                 self._node_values[arg_node] = (np.asarray(value),)
         # Node completion triggers value computation + refcount release.
-        for node in self.low.nodes:
+        for node in nodes:
             self._node_done[node.node_id].add_callback(
-                lambda ev, n=node: self._on_node_done(n)
+                lambda ev, n=node: self._on_node_done(n, ev)
             )
 
     def _feed_node(self, node: LowLevelNode) -> Generator:
-        """Wait for producers, move data, then open the node's gate."""
-        cfg = self.config
+        """Wait for producers, move data, then open the node's gate.
+
+        If a producer is lost to a device failure the gate *fails*
+        rather than staying silent: the gated kernel at the head of its
+        device queue is released with the failure instead of wedging the
+        whole (non-preemptible) queue behind it forever.
+        """
+        gate = self._gates[node.node_id]
         transfer_events = []
         for spec in node.incoming:
             producer_done = self._node_done[spec.src_node]
@@ -266,12 +362,17 @@ class ProgramExecution:
                     name=f"move:{spec.src_node}->{spec.dst_node}",
                 )
             )
-        yield self.sim.all_of(transfer_events)
-        self._gates[node.node_id].succeed(None)
+        try:
+            yield self.sim.all_of(transfer_events)
+        except Exception as exc:  # noqa: BLE001 - producer lost
+            if not gate.triggered:
+                gate.fail(exc)
+            return
+        if not gate.triggered:
+            gate.succeed(None)
 
     def _one_transfer(self, spec, producer_done: Event, node: LowLevelNode) -> Generator:
         yield producer_done
-        cfg = self.config
         if spec.route is TransferRoute.LOCAL or spec.nbytes == 0:
             return
         if spec.route is TransferRoute.ICI:
@@ -291,7 +392,12 @@ class ProgramExecution:
             yield self.system.cluster.dcn.send(src_host, dst_host, per_host)
 
     # -- completion bookkeeping ----------------------------------------------
-    def _on_node_done(self, node: LowLevelNode) -> None:
+    def _on_node_done(self, node: LowLevelNode, ev: Optional[Event] = None) -> None:
+        if ev is not None and not ev.ok:
+            # The node was lost, not completed: no values, no releases —
+            # the replay path rebuilds it.
+            return
+        self._completed_at[node.node_id] = self.sim.now
         self.system.computations_executed += 1
         if self.compute_values and node.computation.fn is not None:
             args = []
@@ -320,16 +426,90 @@ class ProgramExecution:
             return
         feeds_result = any(src == node.node_id for src, _ in self.low.source.results)
         if not consumers and not feeds_result:
-            self.system.object_store.release(handle)
+            if not handle.freed:
+                self.system.object_store.release(handle)
         elif consumers:
             remaining = self.sim.all_of(
                 [self._node_done[c.node_id] for c in consumers]
             )
             remaining.add_callback(
                 lambda ev, h=handle, fr=feeds_result: (
-                    None if fr else self.system.object_store.release(h)
+                    None if fr or h.freed else self.system.object_store.release(h)
                 )
             )
+
+    # -- failure recovery -----------------------------------------------------
+    def _settled(self, events: list[Event]) -> Event:
+        """An event that fires once every input has triggered *either way*
+        (all_of fails fast; quiescing a failed attempt must not)."""
+        waiters = []
+        for ev in events:
+            w = self.sim.event(name="settled")
+            ev.add_callback(lambda e, w=w: w.succeed(None))
+            waiters.append(w)
+        return self.sim.all_of(waiters)
+
+    def _recover_and_replay(self, cause: BaseException) -> Generator:
+        """The ``retry_on_failure`` path (paper's operability story):
+
+        1. quiesce — wait until every dispatched node of the failed
+           attempt has settled (gang peers release via collective abort);
+        2. recover — the system's RecoveryManager detects the failure and
+           remaps the program's virtual slices onto surviving hardware;
+        3. re-lower — placement versions bumped by the remap make the
+           client's lowering cache re-lower onto the new binding;
+        4. replay — nodes not covered by the last checkpoint get fresh
+           executors and are re-dispatched; checkpointed nodes keep their
+           results (their restore cost is paid here).
+        """
+        recovery = self.system.recovery
+        yield self._settled(
+            [self._node_done[nid] for nid in self._dispatched]
+        )
+        yield from recovery.recover_program(self)
+
+        # Re-lower onto the remapped slices (same node ids: lowering is
+        # deterministic over the same source graph).
+        self.low = self.client.lower(self.low.source)
+
+        ckpt = self.checkpoint
+        if ckpt is not None:
+            cut = ckpt.last_checkpoint_us
+            preserved = {
+                nid for nid, t in self._completed_at.items() if t <= cut
+            }
+        else:
+            preserved = set()
+        replay = [n for n in self.low.nodes if n.node_id not in preserved]
+        if ckpt is not None and replay:
+            restore_us = ckpt.restore_cost_us()
+            if restore_us > 0:
+                yield self.sim.timeout(restore_us)
+
+        self._dispatched = set(preserved)
+        for node in replay:
+            old = self._executors.get(node.node_id)
+            if (
+                old is not None
+                and old.output_handle is not None
+                and old.prep_done.triggered
+            ):
+                # The lost attempt's output buffer: its HBM reservation
+                # is returned so surviving gang devices don't leak.
+                self.system.object_store.discard(old.output_handle)
+            ex = NodeExecutor(
+                self.sim,
+                self.config,
+                self.system.object_store,
+                node,
+                owner=self.client.name,
+                program=self.low.name,
+            )
+            self._executors[node.node_id] = ex
+            self._node_done[node.node_id] = ex.all_kernels_done
+            self._completed_at.pop(node.node_id, None)
+            self._node_values.pop(node.node_id, None)
+        yield from self._dispatch_once(replay, first=False)
 
     def _attach_result_handles(self, node_id: int) -> None:
         """Point result futures at the now-allocated output handles."""
@@ -350,9 +530,7 @@ class ProgramExecution:
                 self.system.object_store.release(h)
 
 
-def _placeholder_handle(node_id: int):
-    from repro.core.object_store import MemorySpace, ObjectHandle
-
+def _placeholder_handle(node_id: int) -> ObjectHandle:
     return ObjectHandle(
         object_id=-node_id,
         nbytes_total=0,

@@ -117,10 +117,23 @@ class NodeExecutor:
             )
             dev.enqueue(kernel)
             kernels.append(kernel)
-        self.sim.all_of([k.done for k in kernels]).add_callback(
-            lambda ev: self.all_kernels_done.succeed(None)
-        )
+        self.sim.all_of([k.done for k in kernels]).add_callback(self._on_kernels_settled)
         return kernels
+
+    def _on_kernels_settled(self, ev: Event) -> None:
+        """Propagate gang completion *or* loss to ``all_kernels_done``.
+
+        A device failure fails individual kernel ``done`` events with
+        :class:`~repro.hw.device.DeviceFailure`; forwarding the failure
+        (instead of unconditionally succeeding) is what lets the
+        dispatching program observe the loss and replay the node.
+        """
+        if self.all_kernels_done.triggered:
+            return
+        if ev.ok:
+            self.all_kernels_done.succeed(None)
+        else:
+            self.all_kernels_done.fail(ev._exc)
 
     # -- PCIe cost of the enqueues (charged after the grant is released) -----
     def pcie_cost_us(self) -> float:

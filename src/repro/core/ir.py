@@ -27,7 +27,6 @@ from typing import Optional
 from repro.core.placement import DeviceGroup
 from repro.core.program import PathwaysProgram
 from repro.core.virtual_device import VirtualSlice
-from repro.plaque.graph import ShardedGraph, ShardedNode
 from repro.xla.computation import CompiledFunction
 from repro.xla.sharding import Sharding
 

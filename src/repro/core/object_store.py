@@ -16,9 +16,9 @@ client-scalability mechanism of paper §4.2.
 from __future__ import annotations
 
 import itertools
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from enum import Enum
-from typing import Any, Iterable, Optional
+from typing import Optional
 
 import numpy as np
 
@@ -126,6 +126,20 @@ class ShardedObjectStore:
         self._objects.pop(handle.object_id, None)
 
     # -- failure cleanup -----------------------------------------------------
+    def discard(self, handle: ObjectHandle) -> bool:
+        """Forcibly free a buffer lost to a device failure.
+
+        Unlike :meth:`release`, this ignores the refcount: the data is
+        gone regardless of who still holds references (their reads would
+        fail; the replay path re-produces the object under a new handle).
+        Returns False if the handle was already freed.
+        """
+        if handle.freed:
+            return False
+        handle.refcount = 0
+        self._free(handle)
+        return True
+
     def collect_owner(self, owner: str) -> int:
         """Free everything owned by ``owner`` (program/client failure GC).
 

@@ -17,7 +17,6 @@ traces, gang-scheduling tests).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Sequence
 
 from repro.hw.device import Device
 from repro.hw.host import Host

@@ -14,10 +14,8 @@ from __future__ import annotations
 
 import itertools
 import threading
-from dataclasses import dataclass, field
-from typing import Any, Callable, Optional, Sequence
-
-import numpy as np
+from dataclasses import dataclass
+from typing import Any, Optional, Sequence
 
 from repro.core.virtual_device import VirtualSlice
 from repro.plaque.graph import ShardedGraph

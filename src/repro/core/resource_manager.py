@@ -9,8 +9,7 @@ to be added and removed dynamically").
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Generator, Optional
+from typing import Generator
 
 from repro.config import SystemConfig
 from repro.core.placement import DeviceGroup
@@ -81,19 +80,26 @@ class ResourceManager:
 
     # -- slice binding ----------------------------------------------------
     def _pick_island(self, n_devices: int) -> Island:
-        """Least-loaded island with capacity (static load balancing)."""
+        """Least-loaded island with *surviving* capacity."""
         candidates = [
-            isl for isl in self._islands.values() if isl.n_devices >= n_devices
+            isl for isl in self._islands.values() if isl.n_healthy >= n_devices
         ]
         if not candidates:
             raise RuntimeError(
                 f"no island can host a slice of {n_devices} devices "
-                f"(largest has {max((i.n_devices for i in self._islands.values()), default=0)})"
+                f"(largest has "
+                f"{max((i.n_healthy for i in self._islands.values()), default=0)} healthy)"
             )
         return min(candidates, key=lambda isl: self._cursor.get(isl.island_id, 0))
 
     def bind_slice(self, vslice: VirtualSlice) -> DeviceGroup:
-        """Assign physical devices to ``vslice`` and bind it."""
+        """Assign physical devices to ``vslice`` and bind it.
+
+        Only surviving (non-failed) devices are candidates, so a rebind
+        after a fault lands the slice on healthy hardware.  Raises
+        ``RuntimeError`` when no island has enough healthy capacity —
+        recovery retries after repair in that case.
+        """
         if vslice.bound:
             raise RuntimeError(f"slice {vslice.slice_id} already bound")
         if vslice.island_id is not None:
@@ -103,18 +109,26 @@ class ResourceManager:
         else:
             island = self._pick_island(vslice.n_devices)
         n = vslice.n_devices
-        if n <= self.aggregate_threshold and n <= island.n_devices:
-            # Detailed: a contiguous physical slice, round-robin offset.
-            offset = self._cursor[island.island_id] % max(1, island.n_devices - n + 1)
-            devices = island.device_slice(n, offset=offset)
+        healthy = island.healthy_devices
+        if n <= self.aggregate_threshold and n <= len(healthy):
+            # Detailed: a contiguous run of healthy devices, round-robin
+            # offset (identical to the original contiguous slice when
+            # nothing has failed).
+            offset = self._cursor[island.island_id] % max(1, len(healthy) - n + 1)
+            devices = healthy[offset : offset + n]
             group = DeviceGroup(island=island, devices=devices, n_logical=n)
+        elif not healthy:
+            raise RuntimeError(
+                f"island {island.island_id} has no healthy devices for "
+                f"slice {vslice.slice_id}"
+            )
         else:
-            # Aggregate: representative devices spanning distinct hosts.
+            # Aggregate: representative healthy devices spanning hosts.
             per_host = len(island.hosts[0].devices)
             n_hosts_logical = max(1, n // per_host)
-            reps = min(self.max_simulated_per_group, len(island.devices), n)
-            step = max(1, island.n_devices // reps)
-            devices = [island.devices[(i * step) % island.n_devices] for i in range(reps)]
+            reps = min(self.max_simulated_per_group, len(healthy), n)
+            step = max(1, len(healthy) // reps)
+            devices = [healthy[(i * step) % len(healthy)] for i in range(reps)]
             # De-duplicate while preserving order.
             seen: set[int] = set()
             devices = [d for d in devices if d.device_id not in seen and not seen.add(d.device_id)]
@@ -137,7 +151,16 @@ class ResourceManager:
         """Migrate: unbind and bind afresh (transparent to the client,
         which only holds virtual device names)."""
         self.release_slice(vslice)
-        return self.bind_slice(vslice)
+        try:
+            return self.bind_slice(vslice)
+        except Exception:
+            # Leave the slice trackable so a later retry can rebind it.
+            self._bound[vslice.slice_id] = vslice
+            raise
+
+    def slices_needing_remap(self) -> list[VirtualSlice]:
+        """Bound slices that lost at least one device to a failure."""
+        return [s for s in self._bound.values() if s.needs_remap]
 
     # -- compilation tracking ---------------------------------------------
     def register_computation(self, fn: CompiledFunction) -> Event:

@@ -24,6 +24,7 @@ from dataclasses import dataclass, field
 from typing import Generator, Optional, Protocol
 
 from repro.config import SystemConfig
+from repro.hw.device import DeviceFailure
 from repro.hw.topology import Island
 from repro.sim import Event, Simulator, Store
 
@@ -131,6 +132,10 @@ class IslandScheduler:
         self._pending: list[GangRequest] = []
         self._outstanding: dict[int, int] = {}
         self.decisions = 0
+        self.evictions = 0
+        #: Set while the island is preempted: pending requests are kept
+        #: (with their original sequence numbers) but nothing is granted.
+        self._paused = False
         self._proc = sim.process(
             self._run(), name=f"scheduler[{island.island_id}]", daemon=True
         )
@@ -163,21 +168,64 @@ class IslandScheduler:
         """Signal that a granted computation finished executing."""
         self._incoming.put(("done", req))
 
+    # -- fault tolerance ----------------------------------------------------
+    def evict_device(self, device_id: int) -> None:
+        """A device failed: fail every pending grant that names it and
+        forget its granted-but-unfinished accounting.
+
+        Requests on *surviving* devices keep their original sequence
+        numbers, so the relative enqueue order of everything that can
+        still run is unchanged — the consistent-order invariant survives
+        the eviction.  Evicted work is replayed by the client's
+        ``retry_on_failure`` path after the resource manager remaps its
+        virtual slice.
+        """
+        self._incoming.put(("evict", device_id))
+
+    def pause(self) -> None:
+        """Island preemption: stop granting; pending requests are kept."""
+        self._incoming.put(("pause", None))
+
+    def resume(self) -> None:
+        """End of preemption: resume granting in original seq order."""
+        self._incoming.put(("resume", None))
+
+    @property
+    def paused(self) -> bool:
+        return self._paused
+
     # -- internals -----------------------------------------------------
     def _eligible(self, req: GangRequest) -> bool:
         depth = self.config.scheduler_queue_depth
         return all(self._outstanding.get(d, 0) < depth for d in req.device_ids)
 
-    def _apply(self, kind: str, req: GangRequest) -> None:
+    def _apply(self, kind: str, payload) -> None:
         if kind == "req":
-            self._pending.append(req)
-        else:  # "done"
-            for d in req.device_ids:
+            self._pending.append(payload)
+        elif kind == "done":
+            for d in payload.device_ids:
                 remaining = self._outstanding.get(d, 0) - 1
                 if remaining > 0:
                     self._outstanding[d] = remaining
                 else:
                     self._outstanding.pop(d, None)
+        elif kind == "evict":
+            device_id = payload
+            self._outstanding.pop(device_id, None)
+            doomed = [r for r in self._pending if device_id in r.device_ids]
+            for req in doomed:
+                self._pending.remove(req)
+                self.evictions += 1
+                if not req.grant.triggered:
+                    req.grant.fail(
+                        DeviceFailure(device_id, f"evicted {req.node_label}")
+                    )
+        elif kind == "pause":
+            self._paused = True
+        elif kind == "resume":
+            self._paused = False
+        else:  # pragma: no cover - defensive
+            raise ValueError(f"unknown scheduler message {kind!r}")
 
     def _drain_incoming(self) -> None:
         while True:
@@ -191,7 +239,7 @@ class IslandScheduler:
             kind, req = yield self._incoming.get()
             self._apply(kind, req)
             self._drain_incoming()
-            while True:
+            while not self._paused:
                 eligible = [r for r in self._pending if self._eligible(r)]
                 if not eligible:
                     break

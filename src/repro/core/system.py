@@ -19,10 +19,8 @@ from __future__ import annotations
 
 from typing import Optional
 
-import numpy as np
-
 from repro.config import DEFAULT_CONFIG, SystemConfig
-from repro.core.dispatch import DispatchMode, ProgramExecution
+from repro.core.dispatch import DispatchMode
 from repro.core.object_store import ShardedObjectStore
 from repro.core.resource_manager import ResourceManager
 from repro.core.scheduler import FifoPolicy, IslandScheduler, SchedulingPolicy
@@ -63,6 +61,9 @@ class PathwaysSystem:
         }
         self._clients: dict[str, "PathwaysClient"] = {}
         self.default_mode = DispatchMode.PARALLEL
+        #: Attached by :class:`repro.resilience.RecoveryManager`; the
+        #: ``retry_on_failure`` dispatch path requires it.
+        self.recovery = None
         # counters
         self.programs_dispatched = 0
         self.computations_executed = 0
@@ -116,3 +117,7 @@ class PathwaysSystem:
 
     def mean_utilization(self) -> float:
         return self.cluster.mean_utilization()
+
+    # -- resilience --------------------------------------------------------
+    def healthy_device_count(self) -> int:
+        return sum(isl.n_healthy for isl in self.cluster.islands)

@@ -9,7 +9,7 @@ programs name virtual devices, never physical ones.
 from __future__ import annotations
 
 import itertools
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Optional, TYPE_CHECKING
 
 from repro.core.placement import DeviceGroup
@@ -81,6 +81,17 @@ class VirtualSlice:
             )
         self._group = group
         self.version += 1
+
+    @property
+    def needs_remap(self) -> bool:
+        """True when any bound physical device has failed.
+
+        User programs name virtual devices, so recovery can rebind this
+        slice onto surviving hardware (bumping ``version``, which
+        transparently triggers re-lowering) without the client changing
+        a single reference.
+        """
+        return self._group is not None and any(d.failed for d in self._group.devices)
 
     def unbind(self) -> Optional[DeviceGroup]:
         """Detach from physical devices (suspend/migration support)."""

@@ -8,7 +8,13 @@ islands.  The paper's cluster configurations A, B, and C are provided as
 builders in :mod:`repro.hw.cluster`.
 """
 
-from repro.hw.device import CollectiveRendezvous, Device, HbmAllocator, Kernel
+from repro.hw.device import (
+    CollectiveRendezvous,
+    Device,
+    DeviceFailure,
+    HbmAllocator,
+    Kernel,
+)
 from repro.hw.host import Host
 from repro.hw.interconnect import DCN, ICI
 from repro.hw.topology import Island, Mesh
@@ -21,6 +27,7 @@ __all__ = [
     "ClusterSpec",
     "CollectiveRendezvous",
     "Device",
+    "DeviceFailure",
     "HbmAllocator",
     "Host",
     "Island",

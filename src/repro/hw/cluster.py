@@ -16,7 +16,6 @@ experiments sweep a single parameter.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional, Sequence
 
 from repro.config import DEFAULT_CONFIG, SystemConfig
 from repro.sim import Simulator

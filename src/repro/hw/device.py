@@ -22,13 +22,30 @@ from collections import deque
 from typing import Deque, Generator, Optional, TYPE_CHECKING
 
 from repro.config import SystemConfig
-from repro.sim import Event, Simulator, Store
+from repro.sim import Event, Interrupt, Simulator, Store
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard for typing only
     from repro.hw.host import Host
     from repro.trace.events import TraceRecorder
 
-__all__ = ["CollectiveRendezvous", "Device", "HbmAllocator", "Kernel"]
+__all__ = ["CollectiveRendezvous", "Device", "DeviceFailure", "HbmAllocator", "Kernel"]
+
+
+class DeviceFailure(RuntimeError):
+    """A kernel (or grant) was lost because its device failed.
+
+    Carries the failed device's id and the reason (hardware fault, host
+    crash, island preemption) so recovery can attribute the loss.  The
+    exception *cascades*: kernel ``done`` events fail with it, gang peers
+    are released from their collective with it, and executors propagate
+    it up to the dispatching program, which is where
+    ``retry_on_failure`` catches it.
+    """
+
+    def __init__(self, device_id: int, reason: str = "device failure"):
+        super().__init__(f"device d{device_id} failed: {reason}")
+        self.device_id = device_id
+        self.reason = reason
 
 
 class HbmAllocator:
@@ -114,19 +131,39 @@ class CollectiveRendezvous:
     def joined(self) -> int:
         return self._joined
 
+    @property
+    def aborted(self) -> bool:
+        return self._done.triggered and not self._done.ok
+
     def join(self) -> Event:
         self._joined += 1
+        if self.aborted:
+            # A participant died; late joiners observe the failure too.
+            return self._done
         if self._joined > self.expected:
             raise RuntimeError(
                 f"{self.name}: {self._joined} joins for {self.expected} participants"
             )
         if self._joined == self.expected:
-            # Everyone arrived; complete after the wire time.
+            # Everyone arrived; complete after the wire time.  A device
+            # can still fail *during* the wire time, in which case the
+            # abort wins and this completion is dropped.
             def _finish(ev: Event) -> None:
-                self._done.succeed(None)
+                if not self._done.triggered:
+                    self._done.succeed(None)
 
             self.sim.timeout(self.duration_us).add_callback(_finish)
         return self._done
+
+    def abort(self, cause: BaseException) -> None:
+        """Release every (current and future) participant with ``cause``.
+
+        Called when a gang member's device fails: without it, the
+        surviving devices would block at the rendezvous forever — the
+        exact wedge fault recovery must prevent.
+        """
+        if not self._done.triggered:
+            self._done.fail(cause)
 
 
 class Kernel:
@@ -162,6 +199,13 @@ class Kernel:
         self.program = program
         self.gate = gate
 
+    def abort(self, cause: BaseException) -> None:
+        """Mark this kernel lost: release gang peers, fail ``done``."""
+        if self.collective is not None:
+            self.collective.abort(cause)
+        if not self.done.triggered:
+            self.done.fail(cause)
+
 
 class Device:
     """A simulated TPU core.
@@ -193,6 +237,9 @@ class Device:
         self._queue: Store = Store(sim, name=f"devq[d{device_id}]")
         self.busy_us = 0.0          # time spent executing kernels
         self.kernels_run = 0
+        self.failed = False
+        self.fail_count = 0
+        self.kernels_aborted = 0
         self._proc = sim.process(self._run(), name=f"device[{device_id}]", daemon=True)
 
     @property
@@ -201,36 +248,96 @@ class Device:
 
     def enqueue(self, kernel: Kernel) -> Event:
         """Append a kernel to the FIFO; returns the kernel's done event."""
+        if self.failed:
+            # Fail fast: work sent to a dead device is lost immediately
+            # (its gang peers are released too), never silently queued.
+            self._abort_kernel(kernel, DeviceFailure(self.device_id, "enqueue to failed device"))
+            return kernel.done
         self._queue.put(kernel)
         return kernel.done
+
+    # -- failure & recovery -------------------------------------------------
+    def fail(self, reason: str = "device failure") -> None:
+        """Take the device down: abort the in-flight kernel, drop the
+        queue, and stop the drain loop until :meth:`restart`."""
+        if self.failed:
+            return
+        self.failed = True
+        self.fail_count += 1
+        self._proc.interrupt(DeviceFailure(self.device_id, reason))
+
+    def restart(self) -> None:
+        """Bring a failed device back with an empty queue.
+
+        HBM *accounting* is preserved (buffers lost to the failure are
+        reclaimed by the object store's discard path, keeping the strict
+        alloc/free invariants intact).
+        """
+        if not self.failed:
+            return
+        self.failed = False
+        self._queue = Store(self.sim, name=f"devq[d{self.device_id}]")
+        self._proc = self.sim.process(
+            self._run(), name=f"device[{self.device_id}]", daemon=True
+        )
+
+    def _abort_kernel(self, kernel: Optional[Kernel], cause: BaseException) -> None:
+        if kernel is None:
+            return
+        self.kernels_aborted += 1
+        kernel.abort(cause)
 
     def _run(self) -> Generator:
         launch = self.config.kernel_launch_us
         while True:
-            kernel: Kernel = yield self._queue.get()
-            if kernel.gate is not None:
-                # Head-of-line blocking: nothing behind this kernel can
-                # run until its inputs arrive.
-                yield kernel.gate
-            if launch > 0:
-                yield self.sim.timeout(launch)
-            start = self.sim.now
-            if kernel.collective is not None:
-                yield kernel.collective.join()
-            if kernel.duration_us > 0:
-                yield self.sim.timeout(kernel.duration_us)
-            end = self.sim.now
-            self.busy_us += end - start
-            self.kernels_run += 1
-            if self.trace is not None:
-                self.trace.record(
-                    device=self.device_id,
-                    start=start,
-                    end=end,
-                    tag=kernel.tag,
-                    program=kernel.program,
+            kernel: Optional[Kernel] = None
+            try:
+                kernel = yield self._queue.get()
+                if kernel.gate is not None:
+                    # Head-of-line blocking: nothing behind this kernel can
+                    # run until its inputs arrive.
+                    yield kernel.gate
+                if launch > 0:
+                    yield self.sim.timeout(launch)
+                start = self.sim.now
+                if kernel.collective is not None:
+                    yield kernel.collective.join()
+                if kernel.duration_us > 0:
+                    yield self.sim.timeout(kernel.duration_us)
+                end = self.sim.now
+                self.busy_us += end - start
+                self.kernels_run += 1
+                if self.trace is not None:
+                    self.trace.record(
+                        device=self.device_id,
+                        start=start,
+                        end=end,
+                        tag=kernel.tag,
+                        program=kernel.program,
+                    )
+                kernel.done.succeed(None)
+            except Interrupt as intr:
+                # *This* device failed: abort the in-flight kernel and
+                # everything queued behind it, then stop (restart spawns
+                # a fresh loop).
+                cause = (
+                    intr.cause
+                    if isinstance(intr.cause, BaseException)
+                    else DeviceFailure(self.device_id, str(intr.cause or "interrupted"))
                 )
-            kernel.done.succeed(None)
+                self._abort_kernel(kernel, cause)
+                while True:
+                    ok, queued = self._queue.try_get()
+                    if not ok:
+                        break
+                    self._abort_kernel(queued, cause)
+                return
+            except DeviceFailure as exc:
+                # A *peer* failed: this device was released from a gang
+                # rendezvous (or a gate fed by a dead producer).  Drop the
+                # poisoned kernel and keep draining — the device itself is
+                # healthy.
+                self._abort_kernel(kernel, exc)
 
     def utilization(self) -> float:
         """Fraction of wall-clock time spent executing kernels so far."""

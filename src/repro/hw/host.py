@@ -10,15 +10,12 @@ so contention here must be modeled, not abstracted away.
 
 from __future__ import annotations
 
-from typing import Generator, Optional, TYPE_CHECKING
+from typing import Generator
 
 from repro.config import SystemConfig
-from repro.sim import Event, Resource, Simulator
+from repro.sim import Resource, Simulator
 
 from repro.hw.device import Device, Kernel
-
-if TYPE_CHECKING:  # pragma: no cover
-    from repro.trace.events import TraceRecorder
 
 __all__ = ["Host"]
 
@@ -42,10 +39,28 @@ class Host:
         self.cpu = Resource(sim, capacity=1, name=f"cpu[h{host_id}]")
         #: NIC egress serialization for DCN sends.
         self.nic = Resource(sim, capacity=1, name=f"nic[h{host_id}]")
+        #: Set while the host is crashed; its devices are down with it.
+        self.failed = False
 
     @property
     def name(self) -> str:
         return f"h{self.host_id}"
+
+    def crash(self, reason: str = "host crash") -> None:
+        """Take the host down, failing every attached device."""
+        if self.failed:
+            return
+        self.failed = True
+        for device in self.devices:
+            device.fail(reason)
+
+    def restore(self) -> None:
+        """Bring the host and its devices back (empty queues)."""
+        if not self.failed:
+            return
+        self.failed = False
+        for device in self.devices:
+            device.restart()
 
     def attach(self, device: Device) -> None:
         device.host = self

@@ -10,7 +10,7 @@ models plus (for DCN) serialization through the sending host's NIC.
 from __future__ import annotations
 
 import math
-from typing import Generator, Optional
+from typing import Generator
 
 from repro.config import SystemConfig
 from repro.sim import Event, Simulator

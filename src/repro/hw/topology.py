@@ -9,7 +9,7 @@ requests (paper §4.1) ask for contiguous sub-meshes of specific shapes.
 from __future__ import annotations
 
 import math
-from typing import Iterator, Optional
+from typing import Iterator
 
 from repro.config import SystemConfig
 from repro.sim import Simulator
@@ -97,6 +97,15 @@ class Island:
     @property
     def n_hosts(self) -> int:
         return len(self.hosts)
+
+    @property
+    def healthy_devices(self) -> list[Device]:
+        """Devices currently able to accept work (resilience layer)."""
+        return [d for d in self.devices if not d.failed]
+
+    @property
+    def n_healthy(self) -> int:
+        return len(self.healthy_devices)
 
     def host_of(self, device: Device) -> Host:
         if device.host is None:

@@ -13,7 +13,6 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Generator, Optional
 
-from repro.config import SystemConfig
 from repro.core.placement import DeviceGroup
 from repro.core.system import PathwaysSystem
 from repro.hw.device import Kernel

@@ -18,7 +18,7 @@ sum.  Tests assert exactly that.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional, Sequence
+from typing import Optional
 
 from repro.core.program import PathwaysProgram
 from repro.core.system import PathwaysSystem

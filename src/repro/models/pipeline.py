@@ -11,8 +11,7 @@ the devices' non-preemptible FIFOs plus the data-dependency gates.
 
 from __future__ import annotations
 
-import math
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Optional
 
 from repro.core.program import PathwaysProgram

@@ -17,14 +17,14 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import Generator, Optional
+from typing import Optional
 
 from repro.config import SystemConfig
 from repro.core.client import PathwaysClient
 from repro.core.system import PathwaysSystem
 from repro.models.transformer import TransformerConfig
 from repro.xla.computation import CollectiveSpec, CompiledFunction
-from repro.xla.shapes import DType, TensorSpec
+from repro.xla.shapes import TensorSpec
 
 __all__ = ["SpmdTrainer", "spmd_collective_bytes"]
 

@@ -10,7 +10,7 @@ and M x N edges and pays for it (Figure 5, ablation bench).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from enum import Enum
 from typing import Iterator, Optional
 

@@ -14,7 +14,6 @@ exposes a completion event.
 
 from __future__ import annotations
 
-from typing import Any, Optional
 
 from repro.sim import Event, Simulator
 

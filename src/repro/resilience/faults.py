@@ -1,0 +1,151 @@
+"""Fault injection schedules (resilience subsystem).
+
+A :class:`FaultSchedule` is a deterministic list of :class:`FaultEvent`
+entries — device failures, host crashes, island preemptions — at
+simulated timestamps, optionally with a repair time after which the
+target comes back (empty queues, state lost).  Schedules are either
+hand-written (tests) or drawn from seeded exponential inter-arrival
+distributions (:meth:`FaultSchedule.poisson_device_failures`), which is
+how the recovery-overhead benchmark sweeps MTBF.
+
+The :class:`FaultInjector` is a daemon process that walks the schedule
+and hands each event to the :class:`~repro.resilience.recovery.RecoveryManager`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Generator, Iterable, TYPE_CHECKING
+
+import numpy as np
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.resilience.recovery import RecoveryManager
+
+__all__ = ["FaultEvent", "FaultInjector", "FaultKind", "FaultSchedule"]
+
+
+class FaultKind(Enum):
+    DEVICE_FAILURE = "device_failure"
+    HOST_CRASH = "host_crash"
+    ISLAND_PREEMPTION = "island_preemption"
+
+
+@dataclass(frozen=True, order=True)
+class FaultEvent:
+    """One scheduled fault.
+
+    ``target`` is a device id, host id, or island id depending on
+    ``kind``.  ``repair_us > 0`` means the target restarts that long
+    after the fault (MTTR); ``repair_us == 0`` means permanent loss
+    (island preemptions always resume — their ``repair_us`` is the
+    preemption duration and must be positive).
+    """
+
+    at_us: float
+    kind: FaultKind = field(compare=False)
+    target: int = field(compare=False)
+    repair_us: float = field(default=0.0, compare=False)
+
+    def __post_init__(self) -> None:
+        if self.at_us < 0:
+            raise ValueError(f"fault time must be >= 0, got {self.at_us}")
+        if self.repair_us < 0:
+            raise ValueError(f"repair time must be >= 0, got {self.repair_us}")
+        if self.kind is FaultKind.ISLAND_PREEMPTION and self.repair_us <= 0:
+            raise ValueError("island preemption needs a positive duration")
+
+
+class FaultSchedule:
+    """An ordered collection of fault events."""
+
+    def __init__(self, events: Iterable[FaultEvent] = ()):
+        self.events: list[FaultEvent] = sorted(events)
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def __iter__(self):
+        return iter(self.events)
+
+    def add(self, event: FaultEvent) -> "FaultSchedule":
+        self.events.append(event)
+        self.events.sort()
+        return self
+
+    def device_failure(
+        self, at_us: float, device_id: int, repair_us: float = 0.0
+    ) -> "FaultSchedule":
+        return self.add(
+            FaultEvent(at_us, FaultKind.DEVICE_FAILURE, device_id, repair_us)
+        )
+
+    def host_crash(
+        self, at_us: float, host_id: int, repair_us: float = 0.0
+    ) -> "FaultSchedule":
+        return self.add(FaultEvent(at_us, FaultKind.HOST_CRASH, host_id, repair_us))
+
+    def island_preemption(
+        self, at_us: float, island_id: int, duration_us: float
+    ) -> "FaultSchedule":
+        return self.add(
+            FaultEvent(at_us, FaultKind.ISLAND_PREEMPTION, island_id, duration_us)
+        )
+
+    @classmethod
+    def poisson_device_failures(
+        cls,
+        mtbf_us: float,
+        horizon_us: float,
+        device_ids: Iterable[int],
+        seed: int = 0,
+        repair_us: float = 0.0,
+    ) -> "FaultSchedule":
+        """Exponential per-device failure inter-arrivals with mean
+        ``mtbf_us``, up to ``horizon_us``.
+
+        Deterministic for a given seed (the paper's simulator rule: all
+        randomness from explicitly seeded generators).  A device with
+        ``repair_us > 0`` can fail repeatedly; with 0 it fails at most
+        once (later draws for it are dropped).
+        """
+        if mtbf_us <= 0:
+            raise ValueError(f"mtbf must be positive, got {mtbf_us}")
+        rng = np.random.default_rng(seed)
+        events: list[FaultEvent] = []
+        for device_id in device_ids:
+            t = float(rng.exponential(mtbf_us))
+            while t < horizon_us:
+                events.append(
+                    FaultEvent(t, FaultKind.DEVICE_FAILURE, device_id, repair_us)
+                )
+                if repair_us <= 0:
+                    break
+                t += repair_us + float(rng.exponential(mtbf_us))
+        return cls(events)
+
+
+class FaultInjector:
+    """Daemon process delivering a schedule to the recovery manager."""
+
+    def __init__(self, recovery: "RecoveryManager", schedule: FaultSchedule):
+        self.recovery = recovery
+        self.schedule = schedule
+        self.injected: list[FaultEvent] = []
+        self._proc = recovery.sim.process(
+            self._run(), name="fault-injector", daemon=True
+        )
+
+    def stop(self) -> None:
+        """Cancel any not-yet-injected faults (engine cancel path)."""
+        self._proc.cancel()
+
+    def _run(self) -> Generator:
+        sim = self.recovery.sim
+        for event in self.schedule:
+            delay = event.at_us - sim.now
+            if delay > 0:
+                yield sim.timeout(delay)
+            self.recovery.inject(event)
+            self.injected.append(event)

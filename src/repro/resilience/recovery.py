@@ -1,0 +1,200 @@
+"""Failure detection and re-dispatch orchestration (resilience subsystem).
+
+The :class:`RecoveryManager` is the single-controller counterpart of the
+paper's operability argument: because one resource manager owns every
+device and one scheduler per island owns the enqueue order, a failure is
+handled *centrally* —
+
+* the failed device is taken down (in-flight kernel aborted, gang peers
+  released from their collective) and its pending grants are evicted
+  from the island scheduler without disturbing the relative order of
+  surviving work;
+* virtual slices that lost devices are remapped onto surviving hardware
+  (bumping their bind version, so client lowering caches transparently
+  re-lower);
+* executions running with ``retry_on_failure`` observe the loss, wait
+  for :meth:`recover_program`, and replay lost nodes from the last
+  checkpoint.
+
+Attaching a manager sets ``system.recovery``; there is at most one per
+system.
+"""
+
+from __future__ import annotations
+
+from typing import Generator, TYPE_CHECKING
+
+from repro.hw.device import Device
+from repro.hw.host import Host
+from repro.resilience.faults import FaultEvent, FaultKind
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.core.dispatch import ProgramExecution
+    from repro.core.system import PathwaysSystem
+
+__all__ = ["RecoveryManager"]
+
+
+class RecoveryManager:
+    """Central fault handling for one :class:`PathwaysSystem`."""
+
+    def __init__(
+        self,
+        system: "PathwaysSystem",
+        detection_us: float = 1_000.0,
+        remap_us: float = 200.0,
+        retry_backoff_us: float = 5_000.0,
+        max_remap_attempts: int = 10_000,
+    ):
+        if system.recovery is not None:
+            raise RuntimeError("system already has a RecoveryManager attached")
+        self.system = system
+        self.sim = system.sim
+        #: Health-monitor latency: time from fault to the controller
+        #: acting on it (heartbeat / watchdog period).
+        self.detection_us = detection_us
+        #: Resource-manager work per slice remap.
+        self.remap_us = remap_us
+        #: Wait between remap attempts when no healthy capacity exists
+        #: (e.g. during an island preemption).
+        self.retry_backoff_us = retry_backoff_us
+        self.max_remap_attempts = max_remap_attempts
+        #: Bumped on every injected fault; slice versions are the
+        #: per-client signal, this is the global one.
+        self.epoch = 0
+        self.device_failures = 0
+        self.host_crashes = 0
+        self.preemptions = 0
+        self.repairs = 0
+        self.remaps = 0
+        self.programs_recovered = 0
+        system.recovery = self
+
+    # -- fault injection entry point ----------------------------------------
+    def inject(self, event: FaultEvent) -> None:
+        """Apply one scheduled fault (called by the FaultInjector)."""
+        if event.kind is FaultKind.DEVICE_FAILURE:
+            device = self.system.cluster.device(event.target)
+            self.fail_device(device, reason="injected fault")
+            if event.repair_us > 0:
+                self._after(event.repair_us, lambda: self.repair_device(device))
+        elif event.kind is FaultKind.HOST_CRASH:
+            host = self._host(event.target)
+            self.crash_host(host)
+            if event.repair_us > 0:
+                self._after(event.repair_us, lambda: self.restore_host(host))
+        elif event.kind is FaultKind.ISLAND_PREEMPTION:
+            self.preempt_island(event.target, event.repair_us)
+        else:  # pragma: no cover - defensive
+            raise ValueError(f"unknown fault kind {event.kind!r}")
+
+    # -- primitive fault operations -----------------------------------------
+    def fail_device(self, device: Device, reason: str = "device failure") -> None:
+        """Take one device down and evict its pending grants."""
+        if device.failed:
+            return
+        self.epoch += 1
+        self.device_failures += 1
+        device.fail(reason)
+        island = self.system.cluster.islands[device.island_id]
+        self.system.scheduler_for(island).evict_device(device.device_id)
+
+    def repair_device(self, device: Device) -> None:
+        if not device.failed:
+            return
+        if device.host is not None and device.host.failed:
+            # A device cannot come back while its host is down; the
+            # host's restore will restart it.
+            return
+        self.repairs += 1
+        device.restart()
+
+    def crash_host(self, host: Host) -> None:
+        """A host dies, taking all its PCIe-attached devices with it."""
+        if host.failed:
+            return
+        self.epoch += 1
+        self.host_crashes += 1
+        island = self.system.cluster.islands[host.island_id]
+        scheduler = self.system.scheduler_for(island)
+        host.crash()
+        for device in host.devices:
+            scheduler.evict_device(device.device_id)
+
+    def restore_host(self, host: Host) -> None:
+        if not host.failed:
+            return
+        self.repairs += 1
+        host.restore()
+
+    def preempt_island(self, island_id: int, duration_us: float) -> None:
+        """The whole island is preempted for ``duration_us``: scheduling
+        pauses (pending requests keep their enqueue order), every device
+        drops its state, and after the preemption devices restart and
+        granting resumes."""
+        island = self.system.cluster.islands[island_id]
+        scheduler = self.system.scheduler_for(island)
+        self.epoch += 1
+        self.preemptions += 1
+        scheduler.pause()
+        for device in island.devices:
+            device.fail("island preemption")
+            scheduler.evict_device(device.device_id)
+
+        def _resume() -> None:
+            for device in island.devices:
+                device.restart()
+            scheduler.resume()
+            self.repairs += 1
+
+        self._after(duration_us, _resume)
+
+    # -- program-level recovery ---------------------------------------------
+    def recover_program(self, execution: "ProgramExecution") -> Generator:
+        """Bring an execution's slices back onto healthy hardware.
+
+        Pays the detection latency once, then remaps every placement
+        slice that lost a device, backing off while no healthy capacity
+        exists (repair or preemption end will create some).  Raises
+        ``RuntimeError`` after ``max_remap_attempts`` backoffs.
+        """
+        yield self.sim.timeout(self.detection_us)
+        slices = []
+        seen: set[int] = set()
+        for vslice in execution.low.source.placements.values():
+            if vslice.slice_id not in seen:
+                seen.add(vslice.slice_id)
+                slices.append(vslice)
+        rm = self.system.resource_manager
+        for vslice in slices:
+            if vslice.bound and not vslice.needs_remap:
+                continue
+            attempts = 0
+            while True:
+                try:
+                    rm.rebind_slice(vslice)
+                except RuntimeError:
+                    attempts += 1
+                    if attempts >= self.max_remap_attempts:
+                        raise RuntimeError(
+                            f"slice {vslice.slice_id}: no healthy capacity after "
+                            f"{attempts} remap attempts"
+                        )
+                    yield self.sim.timeout(self.retry_backoff_us)
+                else:
+                    self.remaps += 1
+                    if self.remap_us > 0:
+                        yield self.sim.timeout(self.remap_us)
+                    break
+        self.programs_recovered += 1
+
+    # -- helpers -------------------------------------------------------------
+    def _host(self, host_id: int) -> Host:
+        for host in self.system.cluster.hosts:
+            if host.host_id == host_id:
+                return host
+        raise KeyError(f"no host {host_id}")
+
+    def _after(self, delay_us: float, fn) -> None:
+        """Run ``fn`` after ``delay_us`` of simulated time."""
+        self.sim.timeout(delay_us).add_callback(lambda ev: fn())

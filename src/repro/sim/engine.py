@@ -178,6 +178,13 @@ class AllOf(Event):
             self._finish()
 
     def _finish(self) -> None:
+        # A constituent may have failed *and been processed* before this
+        # AllOf was constructed; propagate that as a failed event rather
+        # than raising out of the constructor / event loop.
+        for ev in self._events:
+            if not ev.ok:
+                self.fail(ev._exc)  # type: ignore[arg-type]
+                return
         self.succeed([ev.value for ev in self._events])
 
 
@@ -216,7 +223,7 @@ class Process(Event):
     wait on each other.
     """
 
-    __slots__ = ("generator", "_waiting_on", "daemon")
+    __slots__ = ("generator", "_waiting_on", "daemon", "cancelled")
 
     def __init__(
         self,
@@ -232,31 +239,58 @@ class Process(Event):
         #: that legitimately idle forever; they are exempt from deadlock
         #: detection.
         self.daemon = daemon
+        #: True once :meth:`cancel` has stopped the process.
+        self.cancelled = False
         sim._live_processes.add(self)
         # Bootstrap: start the generator at the current simulation moment.
         init = Event(sim, name=f"init:{self.name}")
+        self._waiting_on = init
         init.add_callback(self._resume)
         init.succeed()
+
+    def _detach(self) -> None:
+        """Stop listening to whatever this process was waiting on."""
+        target = self._waiting_on
+        if target is not None and target.callbacks is not None:
+            try:
+                target.callbacks.remove(self._resume)
+            except ValueError:
+                pass
+        # Even if the wait target already triggered (its value is in
+        # flight), clearing _waiting_on makes the late _resume a no-op —
+        # otherwise the stale value would be sent into whatever the
+        # generator yields *next*.
+        self._waiting_on = None
 
     def interrupt(self, cause: Any = None) -> None:
         """Throw :class:`Interrupt` into the process at the current time."""
         if self.triggered:
             return
-        target = self._waiting_on
-        if target is not None and not target.triggered:
-            # Detach from whatever we were waiting on.
-            if target.callbacks is not None:
-                try:
-                    target.callbacks.remove(self._resume)
-                except ValueError:
-                    pass
+        self._detach()
         kick = Event(self.sim, name=f"interrupt:{self.name}")
         kick.add_callback(lambda ev: self._step(throw=Interrupt(cause)))
         kick.succeed()
 
+    def cancel(self, value: Any = None) -> None:
+        """Stop the process without raising into it (fault injection's
+        cancellable-process path).
+
+        The generator is closed (its ``finally`` blocks run), the process
+        leaves deadlock accounting, and the process event *succeeds* with
+        ``value`` so waiters observe a clean shutdown rather than a
+        failure.
+        """
+        if self.triggered:
+            return
+        self._detach()
+        self.generator.close()
+        self.sim._live_processes.discard(self)
+        self.cancelled = True
+        self.succeed(value)
+
     # -- internals -----------------------------------------------------
     def _resume(self, ev: Event) -> None:
-        if self.triggered:
+        if self.triggered or self._waiting_on is not ev:
             return
         if ev.ok:
             self._step(value=ev._value)

@@ -5,8 +5,11 @@
   across all four systems (Figures 5, 6, 7).
 * :mod:`repro.workloads.multitenant` — concurrent-client populations
   time-sharing one island (Figures 8, 9).
+* :mod:`repro.workloads.churn` — multi-tenant training under
+  failure/repair churn (the resilience scenario family).
 """
 
+from repro.workloads.churn import ChurnResult, run_churn
 from repro.workloads.microbench import (
     MicrobenchResult,
     run_jax,
@@ -21,7 +24,9 @@ from repro.workloads.multitenant import (
 )
 
 __all__ = [
+    "ChurnResult",
     "MicrobenchResult",
+    "run_churn",
     "run_jax",
     "run_jax_multitenant",
     "run_pathways",

@@ -1,0 +1,211 @@
+"""Multi-tenant training under failure churn (resilience scenario family).
+
+N clients each run a gang-scheduled training loop on their own virtual
+slice while a seeded Poisson fault process kills (and optionally
+repairs) devices underneath them.  Each client's driver is *resilient*:
+
+* every step is submitted with ``retry_on_failure`` so a mid-step device
+  loss is remapped and replayed by the runtime;
+* device state (weights) lives in HBM, so when the client's slice is
+  remapped (its bind version changes) the driver restores from its last
+  checkpoint and replays the steps since — or from step 0 with
+  checkpointing disabled.
+
+``run_churn`` reports *goodput*: first-time useful steps per second of
+wall clock, the quantity the recovery-overhead benchmark sweeps against
+MTBF.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Generator, Optional
+
+from repro.config import DEFAULT_CONFIG, SystemConfig
+from repro.core.client import PathwaysClient
+from repro.core.dispatch import ExecutionAbandoned
+from repro.core.scheduler import SchedulingPolicy
+from repro.core.system import PathwaysSystem
+from repro.core.virtual_device import VirtualSlice
+from repro.hw.cluster import ClusterSpec
+from repro.resilience import (
+    CheckpointManager,
+    FaultInjector,
+    FaultSchedule,
+    RecoveryManager,
+)
+from repro.xla.computation import scalar_allreduce_add
+
+__all__ = ["ChurnResult", "run_churn"]
+
+
+@dataclass
+class ChurnResult:
+    """Outcome of one churn run."""
+
+    n_clients: int
+    steps_per_client: int
+    elapsed_us: float
+    #: First-time completions of each client's step counter (the work
+    #: the tenants actually wanted).
+    useful_steps: int
+    #: Step executions beyond the useful ones: rollback replays.
+    replayed_steps: int
+    #: Simulated time spent writing/reading checkpoints.
+    checkpoint_overhead_us: float
+    faults_injected: int
+    recoveries: int
+    remaps: int
+    per_client_steps: dict[str, int] = field(default_factory=dict)
+    abandoned: list[str] = field(default_factory=list)
+    system_handle: Optional[PathwaysSystem] = None
+
+    @property
+    def goodput_steps_per_second(self) -> float:
+        if self.elapsed_us <= 0:
+            return 0.0
+        return self.useful_steps / (self.elapsed_us / 1e6)
+
+
+def _resilient_driver(
+    client: PathwaysClient,
+    program,
+    n_iters: int,
+    devs: VirtualSlice,
+    ckpt: CheckpointManager,
+    stats: dict,
+) -> Generator:
+    """Train ``n_iters`` steps, rolling back to the last checkpoint
+    whenever the slice is remapped under the loop."""
+    done = 0
+    version = devs.version
+    while done < n_iters:
+        execution = client.submit(
+            program,
+            (0.0,),
+            compute_values=False,
+            retry_on_failure=True,
+            max_attempts=32,
+            checkpoint=ckpt,
+        )
+        try:
+            yield execution.finished
+        except ExecutionAbandoned:
+            stats["abandoned"] += 1
+            break
+        finally:
+            execution.release_results()
+        if devs.version != version:
+            # The slice was rebound mid-loop: HBM state died with the
+            # old devices.  Restore the snapshot and replay from there.
+            version = devs.version
+            restored_step = yield from ckpt.restore()
+            stats["replayed"] += max(0, done - restored_step)
+            done = min(done, restored_step)
+            continue
+        done += 1
+        if ckpt.due():
+            yield from ckpt.save(done)
+    stats["done"] = done
+
+
+def run_churn(
+    n_clients: int = 3,
+    steps_per_client: int = 30,
+    compute_time_us: float = 2_000.0,
+    slice_devices: int = 4,
+    n_hosts: int = 4,
+    devices_per_host: int = 4,
+    mtbf_us: Optional[float] = None,
+    repair_us: float = 25_000.0,
+    checkpoint_interval_us: Optional[float] = None,
+    state_bytes: int = 64 << 20,
+    seed: int = 0,
+    config: SystemConfig = DEFAULT_CONFIG,
+    policy: Optional[SchedulingPolicy] = None,
+    horizon_slack: float = 20.0,
+) -> ChurnResult:
+    """N tenants training under device churn on one island.
+
+    ``mtbf_us=None`` disables fault injection (the ideal baseline);
+    ``checkpoint_interval_us=None`` disables checkpointing (roll back to
+    step 0 on every loss).  Spare devices (``n_hosts * devices_per_host
+    - n_clients * slice_devices``) plus repairs are what remapping draws
+    on.
+    """
+    if n_clients * slice_devices > n_hosts * devices_per_host:
+        raise ValueError(
+            f"{n_clients} clients x {slice_devices} devices exceed the island "
+            f"({n_hosts * devices_per_host} devices); churn needs headroom"
+        )
+    system = PathwaysSystem.build(
+        ClusterSpec(islands=((n_hosts, devices_per_host),), name="churn"),
+        config=config,
+        policy=policy,
+    )
+    recovery = RecoveryManager(system)
+
+    injector = None
+    if mtbf_us is not None:
+        # Horizon generously covers the run; the injector idles (daemon)
+        # once the drivers finish.
+        ideal_us = steps_per_client * compute_time_us
+        schedule = FaultSchedule.poisson_device_failures(
+            mtbf_us=mtbf_us,
+            horizon_us=ideal_us * horizon_slack,
+            device_ids=[d.device_id for d in system.cluster.devices],
+            seed=seed,
+            repair_us=repair_us,
+        )
+        injector = FaultInjector(recovery, schedule)
+
+    drivers = []
+    checkpoints = []
+    stats: dict[str, dict] = {}
+    for c in range(n_clients):
+        name = f"tenant{c}"
+        client = system.client(name)
+        devs = system.make_virtual_device_set().add_slice(tpu_devices=slice_devices)
+        unit = scalar_allreduce_add(
+            slice_devices, compute_time_us, name=f"step_{name}"
+        )
+        step = client.wrap(unit, devices=devs)
+        ckpt = CheckpointManager(
+            system, checkpoint_interval_us, state_bytes, name=f"ckpt_{name}"
+        )
+        checkpoints.append(ckpt)
+        stats[name] = {"replayed": 0, "abandoned": 0, "done": 0}
+        drivers.append(
+            system.sim.process(
+                _resilient_driver(
+                    client,
+                    step.solo_program,
+                    steps_per_client,
+                    devs,
+                    ckpt,
+                    stats[name],
+                ),
+                name=f"driver:{name}",
+            )
+        )
+
+    start = system.sim.now
+    system.sim.run_until_triggered(system.sim.all_of(drivers))
+    elapsed = system.sim.now - start
+    if injector is not None:
+        injector.stop()
+
+    return ChurnResult(
+        n_clients=n_clients,
+        steps_per_client=steps_per_client,
+        elapsed_us=elapsed,
+        useful_steps=sum(s["done"] for s in stats.values()),
+        replayed_steps=sum(s["replayed"] for s in stats.values()),
+        checkpoint_overhead_us=sum(c.overhead_us for c in checkpoints),
+        faults_injected=len(injector.injected) if injector is not None else 0,
+        recoveries=recovery.programs_recovered,
+        remaps=recovery.remaps,
+        per_client_steps={name: s["done"] for name, s in stats.items()},
+        abandoned=[name for name, s in stats.items() if s["abandoned"]],
+        system_handle=system,
+    )

@@ -16,8 +16,6 @@ to reach steady state, and reports computations/second.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional
-
 import numpy as np
 
 from repro.baselines.multi_controller import MultiControllerJax

@@ -15,7 +15,7 @@ Two pieces of XLA behaviour matter to the reproduction:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Optional, Sequence
+from typing import Sequence
 
 import numpy as np
 

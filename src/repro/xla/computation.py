@@ -12,13 +12,13 @@ and it carries a numpy callable giving its logical semantics.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Callable, Optional, Sequence
+from dataclasses import dataclass
+from typing import Callable, Optional
 
 import numpy as np
 
 from repro.config import SystemConfig
-from repro.xla.shapes import DType, TensorSpec
+from repro.xla.shapes import TensorSpec
 from repro.xla.sharding import Sharding
 
 __all__ = ["CollectiveSpec", "CompiledFunction", "scalar_allreduce_add"]

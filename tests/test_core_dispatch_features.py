@@ -4,8 +4,6 @@ re-lowering, refcount lifecycle, failure GC."""
 from __future__ import annotations
 
 import numpy as np
-import pytest
-
 from repro.core.dispatch import DispatchMode
 from repro.core.system import PathwaysSystem
 from repro.hw.cluster import ClusterSpec

@@ -8,7 +8,7 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.core.ir import TransferRoute, lower
-from repro.core.program import ProgramTracer, TracedTensor, _flatten, unflatten
+from repro.core.program import ProgramTracer, _flatten, unflatten
 from repro.xla.computation import CompiledFunction
 from repro.xla.shapes import TensorSpec
 
@@ -152,9 +152,9 @@ class TestLowering:
     def test_missing_placement_rejected(self):
         tracer = ProgramTracer()
         with tracer:
-            arg = tracer.add_arg(TensorSpec((2,)))
+            tracer.add_arg(TensorSpec((2,)))
             # record_call requires a slice; fake a program with no placement
-        program = tracer.finish(())
+        tracer.finish(())
         # Build an artificial compute node without placement via graph API.
         from repro.plaque.graph import ShardedGraph
 

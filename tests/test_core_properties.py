@@ -2,13 +2,12 @@
 
 from __future__ import annotations
 
-import numpy as np
 import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.config import DEFAULT_CONFIG
-from repro.core.object_store import MemorySpace, ShardedObjectStore
+from repro.core.object_store import ShardedObjectStore
 from repro.core.placement import DeviceGroup
 from repro.core.scheduler import GangRequest, IslandScheduler, ProportionalSharePolicy
 from repro.hw.topology import Island

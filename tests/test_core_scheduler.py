@@ -6,7 +6,6 @@ import pytest
 
 from repro.config import DEFAULT_CONFIG
 from repro.core.scheduler import (
-    FifoPolicy,
     GangRequest,
     IslandScheduler,
     ProportionalSharePolicy,
@@ -160,6 +159,36 @@ class TestProportionalShare:
             ]
             picks.append(policy.pick(pending).client)
         assert picks.count("a") >= 4
+
+    def test_late_joiner_cannot_monopolize(self):
+        """Floor-join hard bound: however long the incumbents have run, a
+        late client never gets more than ~one extra consecutive turn of
+        catch-up — its pass starts at the current floor, not zero."""
+        policy = ProportionalSharePolicy({"a": 1.0, "b": 1.0, "late": 1.0})
+        sim = Simulator()
+
+        def req(client):
+            return GangRequest(client, "p", "n", sim.event(), sim.event(), cost_us=10.0)
+
+        # Incumbents accumulate a long history.
+        for _ in range(500):
+            policy.pick([req("a"), req("b")])
+        # From the moment "late" joins, count its share over a window.
+        picks = [
+            policy.pick([req("a"), req("b"), req("late")]).client
+            for _ in range(90)
+        ]
+        late_share = picks.count("late") / len(picks)
+        assert late_share == pytest.approx(1 / 3, abs=0.05)
+        # And the longest initial run of consecutive "late" grants is
+        # bounded (no catch-up burst).
+        burst = 0
+        for c in picks:
+            if c == "late":
+                burst += 1
+            else:
+                break
+        assert burst <= 2
 
     def test_invalid_weight_rejected(self):
         policy = ProportionalSharePolicy()

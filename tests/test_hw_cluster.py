@@ -4,12 +4,10 @@ from __future__ import annotations
 
 import pytest
 
-from repro.config import DEFAULT_CONFIG
 from repro.hw.cluster import ClusterSpec, config_a, config_b, config_c, make_cluster
 from repro.hw.device import Kernel
-from repro.hw.interconnect import DCN, ICI
+from repro.hw.interconnect import ICI
 from repro.hw.topology import Island, Mesh
-from repro.sim import Simulator
 
 
 class TestMesh:

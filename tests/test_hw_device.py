@@ -6,7 +6,7 @@ import pytest
 
 from repro.config import DEFAULT_CONFIG
 from repro.hw.device import CollectiveRendezvous, Device, HbmAllocator, Kernel
-from repro.sim import DeadlockError, Simulator
+from repro.sim import DeadlockError
 
 
 def make_device(sim, device_id=0):

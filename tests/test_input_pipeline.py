@@ -74,7 +74,7 @@ class TestInputPipeline:
         serial host CPUs, so heavy input slows co-located dispatch."""
         cluster = make_cluster(sim, ClusterSpec(islands=((1, 2),)))
         host = cluster.hosts[0]
-        pipe = InputPipeline(sim, [host], 500.0, prefetch_depth=1)
+        InputPipeline(sim, [host], 500.0, prefetch_depth=1)
 
         def dispatcher():
             for _ in range(10):

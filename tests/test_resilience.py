@@ -1,0 +1,604 @@
+"""Tests for the fault-tolerance & elasticity subsystem.
+
+Covers the whole failure path: engine cancel/interrupt delivery, device
+failure semantics (kernel abort, gang release, fail-fast enqueue,
+restart), scheduler eviction & preemption pause/resume, healthy-aware
+slice (re)binding, checkpoint cost accounting, fault schedules, and the
+end-to-end ``retry_on_failure`` / churn scenarios.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.config import DEFAULT_CONFIG
+from repro.core.system import PathwaysSystem
+from repro.hw.cluster import ClusterSpec, make_cluster
+from repro.hw.device import CollectiveRendezvous, DeviceFailure, Kernel
+from repro.resilience import (
+    CheckpointManager,
+    FaultEvent,
+    FaultInjector,
+    FaultKind,
+    FaultSchedule,
+    RecoveryManager,
+)
+from repro.sim import Interrupt, Simulator
+from repro.workloads.churn import run_churn
+from repro.xla.computation import scalar_allreduce_add
+
+
+# -- engine: cancellable processes & interrupt delivery ---------------------
+
+
+class TestEngineCancellation:
+    def test_cancel_stops_process_cleanly(self, sim):
+        log = []
+
+        def worker():
+            try:
+                yield sim.timeout(100.0)
+                log.append("finished")
+            finally:
+                log.append("cleanup")
+
+        proc = sim.process(worker())
+        sim.timeout(10.0).add_callback(lambda ev: proc.cancel("preempted"))
+        sim.run()
+        assert log == ["cleanup"]
+        assert proc.cancelled and proc.ok
+        assert proc.value == "preempted"
+
+    def test_cancel_after_completion_is_noop(self, sim):
+        def worker():
+            yield sim.timeout(1.0)
+            return 42
+
+        proc = sim.process(worker())
+        sim.run()
+        proc.cancel()
+        assert not proc.cancelled
+        assert proc.value == 42
+
+    def test_interrupt_discards_stale_resume_value(self, sim):
+        """An interrupt racing an already-triggered wait target must not
+        leak the stale value into the process's *next* yield."""
+        from repro.sim import Store
+
+        store = Store(sim)
+        got = []
+
+        def consumer():
+            try:
+                item = yield store.get()
+                got.append(("item", item))
+            except Interrupt as intr:
+                got.append(("interrupt", intr.cause))
+                # The next wait must receive the timeout's value, not
+                # the stale store item.
+                val = yield sim.timeout(5.0, value="fresh")
+                got.append(("after", val))
+
+        proc = sim.process(consumer())
+
+        def racer():
+            yield sim.timeout(1.0)
+            # Trigger the getter and interrupt at the same timestamp.
+            store.put("stale")
+            proc.interrupt("fault")
+
+        sim.process(racer())
+        sim.run()
+        assert got == [("interrupt", "fault"), ("after", "fresh")]
+
+
+# -- device failure semantics ----------------------------------------------
+
+
+class TestDeviceFailure:
+    def test_fail_aborts_in_flight_and_queued_kernels(self, sim, small_cluster):
+        dev = small_cluster.devices[0]
+        k1 = Kernel(sim, duration_us=100.0, tag="running")
+        k2 = Kernel(sim, duration_us=100.0, tag="queued")
+        dev.enqueue(k1)
+        dev.enqueue(k2)
+        sim.timeout(10.0).add_callback(lambda ev: dev.fail("test fault"))
+        sim.run()
+        assert dev.failed
+        for k in (k1, k2):
+            assert k.done.triggered and not k.done.ok
+        with pytest.raises(DeviceFailure):
+            k1.done.value
+
+    def test_gang_peers_released_when_member_dies(self, sim, small_cluster):
+        devs = small_cluster.devices[:4]
+        coll = CollectiveRendezvous(sim, participants=4, duration_us=50.0)
+        kernels = [Kernel(sim, duration_us=0.0, collective=coll) for _ in devs]
+        for dev, k in zip(devs, kernels):
+            dev.enqueue(k)
+        sim.timeout(1.0).add_callback(lambda ev: devs[0].fail("gang fault"))
+        # Without the abort path this deadlocks (survivors wait forever).
+        sim.run()
+        assert all(k.done.triggered and not k.done.ok for k in kernels)
+        # Healthy peers stay operational: a later kernel still runs.
+        k_next = Kernel(sim, duration_us=5.0)
+        devs[1].enqueue(k_next)
+        sim.run()
+        assert k_next.done.ok
+
+    def test_enqueue_to_failed_device_fails_fast(self, sim, small_cluster):
+        dev = small_cluster.devices[0]
+        dev.fail("down")
+        sim.run()
+        k = Kernel(sim, duration_us=5.0)
+        dev.enqueue(k)
+        assert k.done.triggered and not k.done.ok
+
+    def test_restart_brings_device_back_with_empty_queue(self, sim, small_cluster):
+        dev = small_cluster.devices[0]
+        lost = Kernel(sim, duration_us=100.0)
+        dev.enqueue(lost)
+        dev.fail("blip")
+        sim.run()
+        dev.restart()
+        assert not dev.failed
+        k = Kernel(sim, duration_us=5.0)
+        dev.enqueue(k)
+        sim.run()
+        assert k.done.ok and not lost.done.ok
+
+    def test_host_crash_takes_devices_down(self, sim, small_cluster):
+        host = small_cluster.hosts[0]
+        host.crash()
+        assert all(d.failed for d in host.devices)
+        host.restore()
+        assert not any(d.failed for d in host.devices)
+
+    def test_all_of_over_already_failed_event_fails_cleanly(self, sim):
+        """AllOf built *after* a constituent failed and had its callbacks
+        processed must fail the composite, not raise out of the event
+        loop (the consumer-release path hits exactly this)."""
+        ev = sim.event(name="doomed")
+        ev.fail(DeviceFailure(0, "early loss"))
+        sim.run(detect_deadlock=False)  # process the failure callbacks
+        combo = sim.all_of([ev])
+        assert combo.triggered and not combo.ok
+        with pytest.raises(DeviceFailure):
+            combo.value
+
+
+class TestRepairUnderHostCrash:
+    def test_device_repair_deferred_while_host_down(self, small_system):
+        recovery = RecoveryManager(small_system)
+        host = small_system.cluster.hosts[0]
+        device = host.devices[0]
+        recovery.fail_device(device)
+        recovery.crash_host(host)
+        # A device repair firing while the host is crashed is a no-op...
+        recovery.repair_device(device)
+        assert device.failed
+        # ...and the host's restore brings it back.
+        recovery.restore_host(host)
+        assert not device.failed
+
+
+# -- scheduler: eviction, pause/resume, admission races ---------------------
+
+
+def _mk_scheduler(sim, config=None):
+    from repro.core.scheduler import IslandScheduler
+    from repro.hw.topology import Island
+
+    cfg = config or DEFAULT_CONFIG
+    island = Island(sim, cfg, 0, n_hosts=1, devices_per_host=4)
+    return IslandScheduler(sim, island, cfg)
+
+
+class TestSchedulerEviction:
+    def test_evict_fails_pending_grants_on_failed_device(self, sim):
+        sched = _mk_scheduler(sim)
+        outcomes = {}
+
+        def unit(name, devices, hold):
+            req = sched.submit(name, "p", name, cost_us=hold, device_ids=devices)
+            try:
+                yield req.grant
+            except DeviceFailure:
+                outcomes[name] = "evicted"
+                return
+            outcomes[name] = ("granted", sim.now)
+            req.enqueued_ack.succeed(None)
+            yield sim.timeout(hold)
+            sched.complete(req)
+
+        # Saturate device 0's admission slots so "victim" stays pending.
+        cfg_depth = DEFAULT_CONFIG.scheduler_queue_depth
+        for i in range(cfg_depth):
+            sim.process(unit(f"holder{i}", (0,), 500.0))
+        sim.process(unit("victim", (0,), 10.0))
+        sim.process(unit("survivor", (1,), 10.0))
+        sim.timeout(50.0).add_callback(lambda ev: sched.evict_device(0))
+        sim.run()
+        assert outcomes["victim"] == "evicted"
+        assert outcomes["survivor"][0] == "granted"
+        assert sched.evictions == 1
+
+    def test_eviction_preserves_relative_order_of_survivors(self, sim):
+        """Evicting requests for a dead device must not disturb the
+        enqueue order of everything else (the §4.4 invariant)."""
+        sched = _mk_scheduler(sim)
+        order = []
+
+        def unit(name, devices):
+            req = sched.submit(name, "p", name, cost_us=10.0, device_ids=devices)
+            try:
+                yield req.grant
+            except DeviceFailure:
+                return
+            order.append(name)
+            req.enqueued_ack.succeed(None)
+            yield sim.timeout(10.0)
+            sched.complete(req)
+
+        def scenario():
+            # Pause so everything queues up in arrival order first.
+            sched.pause()
+            yield sim.timeout(1.0)
+            for i, dev in enumerate([1, 0, 1, 0, 1]):
+                sim.process(unit(f"r{i}", (dev,)))
+            yield sim.timeout(1.0)
+            sched.evict_device(0)
+            sched.resume()
+
+        sim.process(scenario())
+        sim.run()
+        # r1/r3 (device 0) evicted; survivors keep relative order.
+        assert order == ["r0", "r2", "r4"]
+
+    def test_pause_resume_preserves_enqueue_order(self, sim):
+        sched = _mk_scheduler(sim)
+        order = []
+
+        def unit(name):
+            req = sched.submit(name, "p", name, cost_us=5.0, device_ids=())
+            yield req.grant
+            order.append((name, sim.now))
+            req.enqueued_ack.succeed(None)
+            yield sim.timeout(5.0)
+            sched.complete(req)
+
+        def scenario():
+            sim.process(unit("early"))
+            yield sim.timeout(1.0)
+            sched.pause()
+            yield sim.timeout(1.0)
+            for i in range(3):
+                sim.process(unit(f"during{i}"))
+            yield sim.timeout(200.0)
+            assert sched.paused
+            sched.resume()
+
+        sim.process(scenario())
+        sim.run()
+        names = [n for n, _ in order]
+        assert names == ["early", "during0", "during1", "during2"]
+        # Nothing granted while paused.
+        during_times = [t for n, t in order if n.startswith("during")]
+        assert all(t >= 202.0 for t in during_times)
+
+    def test_admission_accounting_when_complete_races_submit(self, sim):
+        """A completion and a new submission arriving at the same
+        timestamp must net out: the new request takes the freed slot."""
+        cfg = DEFAULT_CONFIG.with_overrides(scheduler_queue_depth=1)
+        sched = _mk_scheduler(sim, config=cfg)
+        grant_times = {}
+
+        def first():
+            req = sched.submit("a", "p", "a", cost_us=100.0, device_ids=(0,))
+            yield req.grant
+            grant_times["a"] = sim.now
+            req.enqueued_ack.succeed(None)
+            yield sim.timeout(100.0)
+            # complete() and the rival submit land at the same instant.
+            sched.complete(req)
+
+        def second():
+            yield sim.timeout(100.0 + DEFAULT_CONFIG.scheduler_decision_us)
+            req = sched.submit("b", "p", "b", cost_us=10.0, device_ids=(0,))
+            yield req.grant
+            grant_times["b"] = sim.now
+            req.enqueued_ack.succeed(None)
+            yield sim.timeout(10.0)
+            sched.complete(req)
+
+        sim.process(first())
+        sim.process(second())
+        sim.run()
+        assert "b" in grant_times
+        # No slot was leaked: the follow-up is granted promptly, not
+        # stuck behind a phantom outstanding entry.
+        assert grant_times["b"] <= 100.0 + 3 * DEFAULT_CONFIG.scheduler_decision_us
+        assert sched._outstanding == {}
+
+
+# -- resource manager: healthy-aware binding --------------------------------
+
+
+class TestHealthyBinding:
+    def test_bind_skips_failed_devices(self, small_system):
+        island = small_system.cluster.islands[0]
+        island.devices[0].fail("dead")
+        devs = small_system.make_virtual_device_set().add_slice(tpu_devices=4)
+        bound_ids = [d.device_id for d in devs.group.devices]
+        assert island.devices[0].device_id not in bound_ids
+
+    def test_rebind_lands_on_surviving_hardware(self, small_system):
+        devs = small_system.make_virtual_device_set().add_slice(tpu_devices=4)
+        doomed = devs.group.devices[0]
+        doomed.fail("dead")
+        assert devs.needs_remap
+        old_version = devs.version
+        small_system.resource_manager.rebind_slice(devs)
+        assert devs.version == old_version + 1
+        assert not devs.needs_remap
+        assert doomed.device_id not in [d.device_id for d in devs.group.devices]
+
+    def test_bind_raises_without_healthy_capacity(self, small_system):
+        for d in small_system.cluster.devices:
+            d.fail("gone")
+        with pytest.raises(RuntimeError):
+            small_system.make_virtual_device_set().add_slice(tpu_devices=4)
+
+
+# -- checkpoint cost model ---------------------------------------------------
+
+
+class TestCheckpointManager:
+    def test_save_charges_driver_and_advances_cut(self, small_system):
+        ckpt = CheckpointManager(small_system, 1000.0, state_bytes=1 << 20)
+        sim = small_system.sim
+
+        def driver():
+            yield sim.timeout(1500.0)
+            assert ckpt.due()
+            yield from ckpt.save(step=7)
+
+        sim.process(driver())
+        sim.run()
+        assert ckpt.checkpoints_taken == 1
+        assert ckpt.step == 7
+        assert ckpt.last_checkpoint_us == pytest.approx(1500.0 + ckpt.write_cost_us())
+        assert ckpt.overhead_us == pytest.approx(ckpt.write_cost_us())
+
+    def test_disabled_checkpoint_never_due_and_free_restore(self, small_system):
+        ckpt = CheckpointManager(small_system, None, state_bytes=1 << 30)
+        assert not ckpt.enabled and not ckpt.due()
+        assert ckpt.restore_cost_us() == 0.0
+
+    def test_invalid_interval_rejected(self, small_system):
+        with pytest.raises(ValueError):
+            CheckpointManager(small_system, 0.0, state_bytes=1)
+
+
+# -- fault schedules ---------------------------------------------------------
+
+
+class TestFaultSchedule:
+    def test_poisson_schedule_is_deterministic(self):
+        a = FaultSchedule.poisson_device_failures(
+            1000.0, 10_000.0, range(8), seed=42, repair_us=100.0
+        )
+        b = FaultSchedule.poisson_device_failures(
+            1000.0, 10_000.0, range(8), seed=42, repair_us=100.0
+        )
+        assert len(a) > 0
+        assert [(e.at_us, e.target) for e in a] == [(e.at_us, e.target) for e in b]
+        assert all(e.at_us < 10_000.0 for e in a)
+
+    def test_no_repair_means_at_most_one_failure_per_device(self):
+        sched = FaultSchedule.poisson_device_failures(
+            100.0, 100_000.0, range(4), seed=1, repair_us=0.0
+        )
+        targets = [e.target for e in sched]
+        assert len(targets) == len(set(targets))
+
+    def test_preemption_requires_duration(self):
+        with pytest.raises(ValueError):
+            FaultEvent(0.0, FaultKind.ISLAND_PREEMPTION, 0, repair_us=0.0)
+
+    def test_injector_delivers_in_order(self, small_system):
+        recovery = RecoveryManager(small_system)
+        d0 = small_system.cluster.devices[0].device_id
+        d1 = small_system.cluster.devices[1].device_id
+        schedule = (
+            FaultSchedule()
+            .device_failure(100.0, d0)
+            .device_failure(50.0, d1)
+        )
+        injector = FaultInjector(recovery, schedule)
+        small_system.sim.run()
+        assert [e.target for e in injector.injected] == [d1, d0]
+        assert recovery.device_failures == 2
+
+
+# -- end-to-end recovery -----------------------------------------------------
+
+
+def _one_tenant(system, n_devices=4, compute_us=2000.0):
+    client = system.client("c")
+    devs = system.make_virtual_device_set().add_slice(tpu_devices=n_devices)
+    step = client.wrap(
+        scalar_allreduce_add(n_devices, compute_us, name="step"), devices=devs
+    )
+    return client, devs, step
+
+
+class TestRetryOnFailure:
+    def test_mid_step_device_loss_is_replayed(self, small_system):
+        recovery = RecoveryManager(small_system)
+        client, devs, step = _one_tenant(small_system)
+        victim = devs.group.devices[0]
+        FaultInjector(
+            recovery,
+            FaultSchedule().device_failure(2500.0, victim.device_id),
+        )
+        ex = client.submit(
+            step.solo_program, (0.0,), compute_values=False, retry_on_failure=True
+        )
+        small_system.sim.run_until_triggered(ex.finished, limit=1e7)
+        assert ex.finished.ok
+        assert ex.attempts == 2
+        assert recovery.programs_recovered == 1
+        assert devs.version == 2  # remapped once
+        assert victim.device_id not in [d.device_id for d in devs.group.devices]
+
+    def test_no_recovery_manager_abandons(self, small_system):
+        from repro.core.dispatch import ExecutionAbandoned
+
+        client, devs, step = _one_tenant(small_system)
+        victim = devs.group.devices[0]
+        small_system.sim.timeout(2500.0).add_callback(
+            lambda ev: victim.fail("unmanaged")
+        )
+        ex = client.submit(
+            step.solo_program, (0.0,), compute_values=False, retry_on_failure=True
+        )
+        with pytest.raises(ExecutionAbandoned):
+            small_system.sim.run_until_triggered(ex.finished, limit=1e7)
+        assert ex.finished.triggered and not ex.finished.ok
+
+    def test_island_preemption_waits_and_replays(self):
+        system = PathwaysSystem.build(ClusterSpec(islands=((1, 4),), name="solo"))
+        recovery = RecoveryManager(system)
+        client, devs, step = _one_tenant(system)
+        FaultInjector(
+            recovery,
+            FaultSchedule().island_preemption(1000.0, 0, duration_us=30_000.0),
+        )
+        ex = client.submit(
+            step.solo_program, (0.0,), compute_values=False, retry_on_failure=True
+        )
+        system.sim.run_until_triggered(ex.finished, limit=1e8)
+        assert ex.finished.ok
+        # The retry could only land after the preemption ended.
+        assert system.sim.now > 31_000.0
+        assert recovery.preemptions == 1
+
+    def test_cross_island_migration_on_preemption(self):
+        system = PathwaysSystem.build(
+            ClusterSpec(islands=((1, 4), (1, 4)), name="twin")
+        )
+        recovery = RecoveryManager(system)
+        client, devs, step = _one_tenant(system)
+        home = devs.group.island.island_id
+        # Preempt mid-computation (kernels in flight at t=3000) so the
+        # gang is genuinely lost rather than merely delayed pre-grant.
+        FaultInjector(
+            recovery,
+            FaultSchedule().island_preemption(3000.0, home, duration_us=1e6),
+        )
+        ex = client.submit(
+            step.solo_program, (0.0,), compute_values=False, retry_on_failure=True
+        )
+        system.sim.run_until_triggered(ex.finished, limit=1e7)
+        assert ex.finished.ok
+        # Elasticity: the slice migrated to the other island rather than
+        # waiting out the (long) preemption.
+        assert devs.group.island.island_id != home
+        assert system.sim.now < 1e6
+
+
+class TestRetryMultiNode:
+    def test_consumer_lost_while_producer_running_still_recovers(self, two_island_system):
+        """Reviewer-found crash: a 2-node chain where the consumer's
+        devices die while the producer is still computing used to raise
+        DeviceFailure out of the event loop (AllOf over the consumer's
+        already-failed done event) instead of replaying."""
+        system = two_island_system
+        recovery = RecoveryManager(system)
+        client = system.client("c")
+        dset = system.make_virtual_device_set()
+        d_a = dset.add_slice(tpu_devices=4, island_id=0)
+        d_b = dset.add_slice(tpu_devices=4, island_id=1)
+        fa = client.wrap(
+            scalar_allreduce_add(4, 5000.0, name="producer"), devices=d_a
+        )
+        fb = client.wrap(
+            scalar_allreduce_add(4, 2000.0, name="consumer"), devices=d_b
+        )
+
+        @client.program
+        def chain(v):
+            return (fb(fa(v)),)
+
+        import numpy as np
+
+        scalar = np.zeros((), dtype=np.float32)
+        program = chain.trace(scalar)
+        victim = d_b.group.devices[0]
+        # Fail the consumer's device while the producer is mid-compute.
+        FaultInjector(
+            recovery, FaultSchedule().device_failure(4000.0, victim.device_id)
+        )
+        ex = client.submit(
+            program, (scalar,), compute_values=False, retry_on_failure=True,
+        )
+        system.sim.run_until_triggered(ex.finished, limit=1e8)
+        assert ex.finished.ok
+        assert ex.attempts >= 2
+
+    def test_sequential_mode_double_fault_uses_attempt_budget(self, small_system):
+        """Reviewer-found: a second fault striking during a sequential
+        replay must consume the max_attempts budget, not abandon."""
+        from repro.core.system import DispatchMode
+
+        recovery = RecoveryManager(small_system)
+        client, devs, step = _one_tenant(small_system)
+        schedule = FaultSchedule()
+        # Two separate faults, each mid-computation of an attempt.
+        schedule.device_failure(2500.0, devs.group.devices[0].device_id)
+        schedule.device_failure(12_000.0, 6, repair_us=0.0)
+        FaultInjector(recovery, schedule)
+        ex = client.submit(
+            step.solo_program, (0.0,), compute_values=False,
+            retry_on_failure=True, max_attempts=8, mode=DispatchMode.SEQUENTIAL,
+        )
+        small_system.sim.run_until_triggered(ex.finished, limit=1e8)
+        assert ex.finished.ok
+        assert ex.attempts >= 2
+
+
+class TestChurnWorkload:
+    def test_fault_free_run_completes_everything(self):
+        result = run_churn(n_clients=2, steps_per_client=5, mtbf_us=None)
+        assert result.useful_steps == 10
+        assert result.replayed_steps == 0
+        assert result.faults_injected == 0
+        assert result.goodput_steps_per_second > 0
+
+    def test_churn_degrades_goodput_but_completes(self):
+        ideal = run_churn(n_clients=2, steps_per_client=8, mtbf_us=None)
+        churned = run_churn(
+            n_clients=2, steps_per_client=8, mtbf_us=60_000.0,
+            checkpoint_interval_us=10_000.0, seed=5,
+        )
+        assert churned.useful_steps == 16
+        assert not churned.abandoned
+        assert churned.faults_injected > 0
+        assert (
+            churned.goodput_steps_per_second < ideal.goodput_steps_per_second
+        )
+
+    def test_checkpointing_bounds_replay(self):
+        no_ckpt = run_churn(
+            n_clients=2, steps_per_client=10, mtbf_us=40_000.0,
+            checkpoint_interval_us=None, seed=11,
+        )
+        ckpt = run_churn(
+            n_clients=2, steps_per_client=10, mtbf_us=40_000.0,
+            checkpoint_interval_us=8_000.0, seed=11,
+        )
+        assert ckpt.checkpoint_overhead_us > 0
+        assert no_ckpt.checkpoint_overhead_us == 0
+        # Same fault schedule; snapshots strictly reduce replayed work.
+        assert ckpt.replayed_steps <= no_ckpt.replayed_steps

@@ -5,10 +5,7 @@ from __future__ import annotations
 import pytest
 
 from repro.sim import (
-    AllOf,
-    AnyOf,
     DeadlockError,
-    Event,
     Interrupt,
     ProcessFailed,
     Simulator,

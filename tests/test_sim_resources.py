@@ -4,7 +4,7 @@ from __future__ import annotations
 
 import pytest
 
-from repro.sim import Resource, Simulator, Store
+from repro.sim import Resource, Store
 
 
 class TestResource:
