@@ -14,7 +14,28 @@ in well under two minutes.  CI runs every bench in smoke mode on every
 push; run without the variable to reproduce the paper's numbers.
 """
 
+import pytest
+
 from repro.bench.harness import smoke_mode
+from repro.testing import (
+    format_resilience_warnings,
+    record_warnings,
+    resilience_warnings,
+)
+
+
+@pytest.fixture(autouse=True)
+def fail_on_resilience_warnings():
+    """Fail any bench that triggers a resilience fault-path UserWarning.
+
+    See :mod:`repro.testing` for why this records instead of escalating:
+    the CI smoke job must fail on dropped notices / missed drain
+    deadlines even when they fire inside daemon sim processes.
+    """
+    with record_warnings() as caught:
+        yield
+    bad = resilience_warnings(caught)
+    assert not bad, format_resilience_warnings(bad, "bench run")
 
 
 def pytest_report_header(config):

@@ -33,7 +33,7 @@ from repro.core.futures import PathwaysFuture
 from repro.core.ir import LowLevelNode, LowLevelProgram, TransferRoute
 from repro.core.object_store import MemorySpace, ObjectHandle
 from repro.core.program import unflatten
-from repro.hw.device import DeviceFailure
+from repro.hw.device import DeviceFailure, unwrap_fault
 from repro.sim import Event
 
 if TYPE_CHECKING:  # pragma: no cover
@@ -167,6 +167,11 @@ class ProgramExecution:
             yield from self._dispatch_once(self.low.nodes, first=True)
         except Exception as exc:  # noqa: BLE001 - sequential-mode loss
             if not self.retry_on_failure:
+                # Settle every externally-visible event before surfacing
+                # the loss, so non-resilient waiters (OpByOp clients on
+                # handles_ready, run_and_wait on done) observe the
+                # failure instead of wedging forever.
+                self._abort_unsettled(exc)
                 raise
             failure = exc
         self.system.programs_dispatched += 1
@@ -192,15 +197,20 @@ class ProgramExecution:
             cause, failure = failure, None
             try:
                 yield from self._recover_and_replay(cause)
-            except DeviceFailure as exc:
-                # A fresh fault struck during the replay itself (e.g.
-                # sequential dispatch waits on nodes inline).  Feed it
-                # back into the loop so the remaining max_attempts
-                # budget applies, exactly as in parallel mode.
-                failure = exc
-            except Exception as exc:  # noqa: BLE001 - remap exhausted, etc.
-                self.finished.fail(ExecutionAbandoned(self.name, self.attempts, exc))
-                return
+            except Exception as exc:  # noqa: BLE001 - fresh fault or fatal
+                if unwrap_fault(exc) is not None:
+                    # A fresh fault (device loss or host crash, possibly
+                    # wrapped in ProcessFailed/Interrupt) struck during
+                    # the replay itself (e.g. sequential dispatch waits
+                    # on nodes inline).  Feed it back into the loop so
+                    # the remaining max_attempts budget applies, exactly
+                    # as in parallel mode.
+                    failure = exc
+                else:  # remap exhausted, etc.
+                    self.finished.fail(
+                        ExecutionAbandoned(self.name, self.attempts, exc)
+                    )
+                    return
 
     def _dispatch_once(self, nodes: list[LowLevelNode], first: bool) -> Generator:
         """One controller pass over ``nodes`` (all of them on the first
@@ -290,17 +300,24 @@ class ProgramExecution:
             )
             yield self.sim.timeout(controller_us)
             yield self.sim.timeout(cfg.dcn_latency_us)  # controller -> host
-            yield self.sim.process(ex.prep(), name=f"prep:{node.label}")
-            self._attach_result_handles(node.node_id)
-            scheduler = self.system.scheduler_for(node.group.island)
-            req = scheduler.submit(
-                client=self.client.name,
-                program=self.low.name,
-                node_label=f"{self.name}:{node.label}",
-                cost_us=node.computation.compute_time_us(self.config),
-                device_ids=tuple(d.device_id for d in node.group.devices),
-            )
-            yield req.grant
+            try:
+                yield self.sim.process(ex.prep(), name=f"prep:{node.label}")
+                self._attach_result_handles(node.node_id)
+                scheduler = self.system.scheduler_for(node.group.island)
+                req = scheduler.submit(
+                    client=self.client.name,
+                    program=self.low.name,
+                    node_label=f"{self.name}:{node.label}",
+                    cost_us=node.computation.compute_time_us(self.config),
+                    device_ids=tuple(d.device_id for d in node.group.devices),
+                )
+                yield req.grant
+            except Exception as exc:  # noqa: BLE001 - prep lost / grant evicted
+                # Settle the node's completion event before propagating,
+                # or the recovery quiesce would wait on it forever.
+                if not ex.all_kernels_done.triggered:
+                    ex.all_kernels_done.fail(exc)
+                raise
             gate = self._gates.get(node.node_id)
             ex.enqueue(gate=gate)
             req.enqueued_ack.succeed(None)
@@ -439,15 +456,15 @@ class ProgramExecution:
             )
 
     # -- failure recovery -----------------------------------------------------
-    def _settled(self, events: list[Event]) -> Event:
-        """An event that fires once every input has triggered *either way*
-        (all_of fails fast; quiescing a failed attempt must not)."""
-        waiters = []
-        for ev in events:
-            w = self.sim.event(name="settled")
-            ev.add_callback(lambda e, w=w: w.succeed(None))
-            waiters.append(w)
-        return self.sim.all_of(waiters)
+    def _abort_unsettled(self, exc: BaseException) -> None:
+        """Fail every not-yet-settled completion event of this execution
+        (fatal non-retry loss: in-flight nodes have settled or will via
+        kernel aborts; undispatched nodes never will on their own)."""
+        if not self.handles_ready.triggered:
+            self.handles_ready.fail(exc)
+        for ev in self._node_done.values():
+            if not ev.triggered:
+                ev.fail(exc)
 
     def _recover_and_replay(self, cause: BaseException) -> Generator:
         """The ``retry_on_failure`` path (paper's operability story):
@@ -463,7 +480,7 @@ class ProgramExecution:
            results (their restore cost is paid here).
         """
         recovery = self.system.recovery
-        yield self._settled(
+        yield self.sim.all_settled(
             [self._node_done[nid] for nid in self._dispatched]
         )
         yield from recovery.recover_program(self)

@@ -51,19 +51,23 @@ class NodeExecutor:
 
     # -- step 1: host-side preparation ----------------------------------------
     def prep(self) -> Generator:
-        """Host work + output allocation on all hosts, in parallel."""
+        """Host work + output allocation on all hosts, in parallel.
+
+        Both halves can be lost to a fault: a crashed host fails its CPU
+        work fast (:class:`~repro.hw.host.HostFailure`), and a failed
+        device cancels its pending HBM waiters.  Either way the partial
+        reservation is rolled back exactly — granted shards freed,
+        queued waiters cancelled — before the failure propagates to the
+        dispatching program's retry path.
+        """
         group = self.node.group
         fn = self.node.computation
         per_host_us = self.config.executor_prep_us + self.config.host_launch_work_us
 
-        host_events = []
-        for host in group.hosts:
-            host_events.append(
-                self.sim.process(
-                    host.cpu.using(self.sim, per_host_us),
-                    name=f"prep:{self.node.label}@{host.name}",
-                )
-            )
+        host_events = [
+            host.prep_process(per_host_us, name=f"prep:{self.node.label}@{host.name}")
+            for host in group.hosts
+        ]
         # Output buffers: per-shard bytes reserved on every (simulated)
         # device of the group — this is where HBM back-pressure bites.
         nbytes_shard = fn.output_nbytes_per_shard()
@@ -75,7 +79,12 @@ class NodeExecutor:
             space=MemorySpace.HBM,
         )
         self.output_handle = handle
-        yield self.sim.all_of(host_events + [alloc_ready])
+        try:
+            yield self.sim.all_of(host_events + [alloc_ready])
+        except BaseException:
+            self.store.discard(handle)
+            self.output_handle = None
+            raise
         self.prep_done.succeed(None)
 
     # -- step 2: enqueue (called under the scheduler's grant) ----------------

@@ -63,6 +63,11 @@ class ShardedObjectStore:
     def __init__(self, sim: Simulator):
         self.sim = sim
         self._objects: dict[int, ObjectHandle] = {}
+        #: Per-object HBM grant events, one per simulated device: the
+        #: exact rollback record for allocations aborted mid-grant (a
+        #: failed device cancels its waiters; peers that already granted
+        #: must be freed, peers still queued must be cancelled).
+        self._hbm_grants: dict[int, list[tuple]] = {}
         self.allocations = 0
         self.frees = 0
 
@@ -94,8 +99,9 @@ class ShardedObjectStore:
         if space is MemorySpace.HBM:
             if group is None:
                 raise ValueError("HBM allocation requires a device group")
-            grants = [dev.hbm.alloc(nbytes_per_shard) for dev in group.devices]
-            ready = self.sim.all_of(grants)
+            grants = [(dev, dev.hbm.alloc(nbytes_per_shard)) for dev in group.devices]
+            self._hbm_grants[handle.object_id] = grants
+            ready = self.sim.all_of([ev for _, ev in grants])
         else:
             ready = self.sim.event(name=f"dram_alloc:{handle.object_id}")
             ready.succeed(None)
@@ -120,7 +126,17 @@ class ShardedObjectStore:
     def _free(self, handle: ObjectHandle) -> None:
         handle.freed = True
         self.frees += 1
-        if handle.space is MemorySpace.HBM and handle.group is not None:
+        grants = self._hbm_grants.pop(handle.object_id, None)
+        if grants is not None:
+            # Free exactly what was granted; waiters still queued (an
+            # allocation aborted mid-grant) are cancelled instead, which
+            # re-runs the FIFO grant scan so later requests unblock.
+            for dev, ev in grants:
+                if ev.triggered and ev.ok:
+                    dev.hbm.free_bytes(handle.nbytes_per_shard)
+                else:
+                    dev.hbm.cancel(ev)
+        elif handle.space is MemorySpace.HBM and handle.group is not None:
             for dev in handle.group.devices:
                 dev.hbm.free_bytes(handle.nbytes_per_shard)
         self._objects.pop(handle.object_id, None)

@@ -9,7 +9,7 @@ to be added and removed dynamically").
 
 from __future__ import annotations
 
-from typing import Generator
+from typing import Callable, Generator
 
 from repro.config import SystemConfig
 from repro.core.placement import DeviceGroup
@@ -49,6 +49,15 @@ class ResourceManager:
         self._cursor: dict[int, int] = {i: 0 for i in self._islands}
         #: Devices currently bound, per island (for release + accounting).
         self._bound: dict[int, VirtualSlice] = {}
+        #: Islands mid-drain: excluded from new bindings until handback
+        #: completes (or the drain is cancelled).
+        self._draining: set[int] = set()
+        #: Capacity-change subscribers (the elastic controller): called
+        #: with (reason, island_id) whenever usable capacity appears.
+        self._capacity_listeners: list[Callable[[str, int], None]] = []
+        #: Slice-release subscribers: called with the island id a slice
+        #: just unbound from (drain completion watches this).
+        self._release_listeners: list[Callable[[int], None]] = []
 
     # -- island membership -----------------------------------------------------
     def add_island(self, island: Island) -> None:
@@ -56,12 +65,10 @@ class ResourceManager:
             raise ValueError(f"island {island.island_id} already registered")
         self._islands[island.island_id] = island
         self._cursor[island.island_id] = 0
+        self.capacity_changed("added", island.island_id)
 
     def remove_island(self, island_id: int) -> None:
-        in_use = [
-            s for s in self._bound.values()
-            if s.bound and s.group.island.island_id == island_id
-        ]
+        in_use = self.bound_slices_on(island_id)
         if in_use:
             raise RuntimeError(
                 f"island {island_id} has {len(in_use)} bound slice(s); "
@@ -69,6 +76,52 @@ class ResourceManager:
             )
         self._islands.pop(island_id)
         self._cursor.pop(island_id)
+        self._draining.discard(island_id)
+
+    # -- capacity events & drain state -------------------------------------
+    def subscribe_capacity(self, fn: Callable[[str, int], None]) -> None:
+        """Register a listener for capacity-change events.
+
+        ``fn(reason, island_id)`` fires when an island is added
+        (``"added"``) and when the resilience layer reports hardware
+        returning (``"repair"``, ``"restore"``, ``"preemption-end"``) —
+        the signals elastic scale-up grows on.
+        """
+        self._capacity_listeners.append(fn)
+
+    def capacity_changed(self, reason: str, island_id: int) -> None:
+        """Notify subscribers that usable capacity changed."""
+        for fn in list(self._capacity_listeners):
+            fn(reason, island_id)
+
+    def subscribe_release(self, fn: Callable[[int], None]) -> None:
+        """Register a listener called with the island id whenever a
+        slice unbinds from it (release or the unbind half of a rebind).
+        The elastic controller uses this to complete drains whose last
+        slice left via the recovery path rather than an elastic
+        workload's explicit ``vacated``."""
+        self._release_listeners.append(fn)
+
+    def begin_drain(self, island_id: int) -> None:
+        """Stop offering ``island_id`` to new bindings (graceful handback)."""
+        if island_id not in self._islands:
+            raise KeyError(f"unknown island {island_id}")
+        self._draining.add(island_id)
+
+    def end_drain(self, island_id: int) -> None:
+        """The island is back in the binding pool (handback complete and
+        capacity returned, or the drain was cancelled)."""
+        self._draining.discard(island_id)
+
+    def is_draining(self, island_id: int) -> bool:
+        return island_id in self._draining
+
+    def bound_slices_on(self, island_id: int) -> list[VirtualSlice]:
+        """Slices currently bound to physical devices of ``island_id``."""
+        return [
+            s for s in self._bound.values()
+            if s.bound and s.group.island.island_id == island_id
+        ]
 
     @property
     def islands(self) -> list[Island]:
@@ -80,9 +133,10 @@ class ResourceManager:
 
     # -- slice binding ----------------------------------------------------
     def _pick_island(self, n_devices: int) -> Island:
-        """Least-loaded island with *surviving* capacity."""
+        """Least-loaded non-draining island with *surviving* capacity."""
         candidates = [
-            isl for isl in self._islands.values() if isl.n_healthy >= n_devices
+            isl for isl in self._islands.values()
+            if isl.n_healthy >= n_devices and isl.island_id not in self._draining
         ]
         if not candidates:
             raise RuntimeError(
@@ -106,6 +160,11 @@ class ResourceManager:
             island = self._islands.get(vslice.island_id)
             if island is None:
                 raise KeyError(f"unknown island {vslice.island_id}")
+            if vslice.island_id in self._draining:
+                raise RuntimeError(
+                    f"island {vslice.island_id} is draining; repin slice "
+                    f"{vslice.slice_id} elsewhere"
+                )
         else:
             island = self._pick_island(vslice.n_devices)
         n = vslice.n_devices
@@ -144,8 +203,12 @@ class ResourceManager:
         return group
 
     def release_slice(self, vslice: VirtualSlice) -> None:
+        island_id = vslice.group.island.island_id if vslice.bound else None
         self._bound.pop(vslice.slice_id, None)
         vslice.unbind()
+        if island_id is not None:
+            for fn in list(self._release_listeners):
+                fn(island_id)
 
     def rebind_slice(self, vslice: VirtualSlice) -> DeviceGroup:
         """Migrate: unbind and bind afresh (transparent to the client,

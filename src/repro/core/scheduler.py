@@ -131,11 +131,23 @@ class IslandScheduler:
         self._incoming: Store = Store(sim, name=f"sched_in[{island.island_id}]")
         self._pending: list[GangRequest] = []
         self._outstanding: dict[int, int] = {}
+        #: Granted-but-unfinished requests by seq -> live device ids.
+        #: This is the authoritative admission-control record: a
+        #: ``complete`` for a request no longer here (evicted, or its
+        #: device was readmitted after a restart) is stale and must not
+        #: touch the fresh counters.
+        self._live_grants: dict[int, tuple[int, ...]] = {}
         self.decisions = 0
         self.evictions = 0
+        self.stale_completions = 0
+        self.rejected_draining = 0
         #: Set while the island is preempted: pending requests are kept
         #: (with their original sequence numbers) but nothing is granted.
         self._paused = False
+        #: Set while the island is draining for a graceful handback:
+        #: in-flight gangs finish, nothing new is granted.
+        self._draining = False
+        self._drain_waiters: list[Event] = []
         self._proc = sim.process(
             self._run(), name=f"scheduler[{island.island_id}]", daemon=True
         )
@@ -182,6 +194,16 @@ class IslandScheduler:
         """
         self._incoming.put(("evict", device_id))
 
+    def readmit_device(self, device_id: int) -> None:
+        """A previously-evicted device restarted: drop any stale
+        admission accounting so the device is schedulable again.
+
+        Without this, a ``complete`` for a gang granted *before* the
+        eviction can race work granted *after* the restart and corrupt
+        the fresh counters (over-admitting past the queue depth).
+        """
+        self._incoming.put(("readmit", device_id))
+
     def pause(self) -> None:
         """Island preemption: stop granting; pending requests are kept."""
         self._incoming.put(("pause", None))
@@ -190,28 +212,95 @@ class IslandScheduler:
         """End of preemption: resume granting in original seq order."""
         self._incoming.put(("resume", None))
 
+    # -- elastic drain/handback --------------------------------------------
+    def drain(self) -> Event:
+        """Stop admitting new gangs; admitted work runs to completion.
+
+        The graceful half of a preemption notice: unlike :meth:`pause`
+        (which strands granted work when the island's devices are then
+        failed), a drain lets everything already admitted — granted
+        gangs *and* requests pending at drain time — finish in order.
+        *New* submissions fail fast (their grant fails with
+        :class:`DeviceFailure`), which sends resilient clients through
+        their recovery path, where the resource manager remaps them off
+        the draining island.  Returns an event that fires once nothing
+        admitted remains (no pending requests, no granted-but-unfinished
+        gangs).
+        """
+        drained = self.sim.event(name=f"drained[{self.island.island_id}]")
+        self._incoming.put(("drain", drained))
+        return drained
+
+    def undrain(self) -> None:
+        """Resume granting after a drain (island handed back / kept)."""
+        self._incoming.put(("undrain", None))
+
     @property
     def paused(self) -> bool:
         return self._paused
+
+    @property
+    def draining(self) -> bool:
+        return self._draining
+
+    @property
+    def in_flight(self) -> int:
+        """Granted-but-unfinished gangs."""
+        return len(self._live_grants)
 
     # -- internals -----------------------------------------------------
     def _eligible(self, req: GangRequest) -> bool:
         depth = self.config.scheduler_queue_depth
         return all(self._outstanding.get(d, 0) < depth for d in req.device_ids)
 
+    def _release(self, device_ids: tuple[int, ...]) -> None:
+        for d in device_ids:
+            remaining = self._outstanding.get(d, 0) - 1
+            if remaining > 0:
+                self._outstanding[d] = remaining
+            else:
+                self._outstanding.pop(d, None)
+
+    def _purge_device(self, device_id: int) -> None:
+        """Forget granted-work accounting involving ``device_id``; the
+        surviving devices of affected gangs are released too (their
+        kernels were aborted by the collective release)."""
+        self._outstanding.pop(device_id, None)
+        for seq, devices in list(self._live_grants.items()):
+            if device_id in devices:
+                del self._live_grants[seq]
+                self._release(tuple(d for d in devices if d != device_id))
+
     def _apply(self, kind: str, payload) -> None:
         if kind == "req":
+            if self._draining:
+                # Not admitted: fail fast so the client's retry path can
+                # remap onto a non-draining island instead of wedging on
+                # a grant that will never come.
+                self.rejected_draining += 1
+                if not payload.grant.triggered:
+                    device = payload.device_ids[0] if payload.device_ids else -1
+                    payload.grant.fail(
+                        DeviceFailure(
+                            device,
+                            f"island {self.island.island_id} draining: "
+                            f"rejected {payload.node_label}",
+                        )
+                    )
+                return
             self._pending.append(payload)
         elif kind == "done":
-            for d in payload.device_ids:
-                remaining = self._outstanding.get(d, 0) - 1
-                if remaining > 0:
-                    self._outstanding[d] = remaining
-                else:
-                    self._outstanding.pop(d, None)
+            devices = self._live_grants.pop(payload.seq, None)
+            if devices is None:
+                # Granted before an eviction/readmit of one of its
+                # devices: the counters were already settled then.
+                self.stale_completions += 1
+            else:
+                self._release(devices)
+            self._check_drained()
         elif kind == "evict":
             device_id = payload
-            self._outstanding.pop(device_id, None)
+            self._purge_device(device_id)
             doomed = [r for r in self._pending if device_id in r.device_ids]
             for req in doomed:
                 self._pending.remove(req)
@@ -220,12 +309,30 @@ class IslandScheduler:
                     req.grant.fail(
                         DeviceFailure(device_id, f"evicted {req.node_label}")
                     )
+            self._check_drained()
+        elif kind == "readmit":
+            self._purge_device(payload)
+            self._check_drained()
         elif kind == "pause":
             self._paused = True
         elif kind == "resume":
             self._paused = False
+        elif kind == "drain":
+            self._draining = True
+            self._drain_waiters.append(payload)
+            self._check_drained()
+        elif kind == "undrain":
+            self._draining = False
         else:  # pragma: no cover - defensive
             raise ValueError(f"unknown scheduler message {kind!r}")
+
+    def _check_drained(self) -> None:
+        if not self._draining or self._live_grants or self._pending:
+            return
+        waiters, self._drain_waiters = self._drain_waiters, []
+        for ev in waiters:
+            if not ev.triggered:
+                ev.succeed(None)
 
     def _drain_incoming(self) -> None:
         while True:
@@ -239,6 +346,9 @@ class IslandScheduler:
             kind, req = yield self._incoming.get()
             self._apply(kind, req)
             self._drain_incoming()
+            # Draining does not stop this loop: requests admitted before
+            # the drain still grant in order; only new submissions are
+            # rejected (in ``_apply``).
             while not self._paused:
                 eligible = [r for r in self._pending if self._eligible(r)]
                 if not eligible:
@@ -250,6 +360,7 @@ class IslandScheduler:
                 self.decisions += 1
                 for d in choice.device_ids:
                     self._outstanding[d] = self._outstanding.get(d, 0) + 1
+                self._live_grants[choice.seq] = choice.device_ids
                 choice.grant.succeed(None)
                 # Serialize: the winner must finish appending its kernels
                 # before anyone else is granted, preserving a single

@@ -53,6 +53,10 @@ class PathwaysSystem:
             sim, cluster, config, aggregate_threshold=aggregate_threshold
         )
         self.object_store = ShardedObjectStore(sim)
+        #: Policy islands are created with (None -> per-island FIFO);
+        #: runtime-added islands inherit it so elastic growth never
+        #: silently mixes scheduling policies.
+        self._default_policy = policy
         self._schedulers: dict[int, IslandScheduler] = {
             isl.island_id: IslandScheduler(
                 sim, isl, config, policy=policy if policy is not None else FifoPolicy()
@@ -64,6 +68,9 @@ class PathwaysSystem:
         #: Attached by :class:`repro.resilience.RecoveryManager`; the
         #: ``retry_on_failure`` dispatch path requires it.
         self.recovery = None
+        #: Attached by :class:`repro.resilience.ElasticController`;
+        #: mediates elastic scale-up and island drain/handback.
+        self.elastic = None
         # counters
         self.programs_dispatched = 0
         self.computations_executed = 0
@@ -94,7 +101,39 @@ class PathwaysSystem:
     def scheduler_for(self, island: Island) -> IslandScheduler:
         return self._schedulers[island.island_id]
 
+    def add_island(
+        self,
+        n_hosts: int,
+        devices_per_host: int,
+        policy: Optional[SchedulingPolicy] = None,
+    ) -> Island:
+        """Grow the cluster at runtime: build an island with contiguous
+        fresh ids, give it its own gang scheduler, and register it with
+        the resource manager (which fires capacity-change listeners so
+        elastic workloads can widen onto the new hardware)."""
+        cluster = self.cluster
+        island = Island(
+            self.sim,
+            self.config,
+            island_id=max((i.island_id for i in cluster.islands), default=-1) + 1,
+            n_hosts=n_hosts,
+            devices_per_host=devices_per_host,
+            first_host_id=max((h.host_id for h in cluster.hosts), default=-1) + 1,
+            first_device_id=max((d.device_id for d in cluster.devices), default=-1) + 1,
+            trace=self.trace,
+        )
+        cluster.islands.append(island)
+        if policy is None:
+            policy = self._default_policy
+        self._schedulers[island.island_id] = IslandScheduler(
+            self.sim, island, self.config,
+            policy=policy if policy is not None else FifoPolicy(),
+        )
+        self.resource_manager.add_island(island)
+        return island
+
     def set_policy(self, policy: SchedulingPolicy) -> None:
+        self._default_policy = policy
         for sched in self._schedulers.values():
             sched.policy = policy
 

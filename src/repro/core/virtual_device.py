@@ -98,6 +98,15 @@ class VirtualSlice:
         group, self._group = self._group, None
         return group
 
+    def repin(self, island_id: Optional[int]) -> None:
+        """Re-target the slice's island constraint for its *next* bind.
+
+        The drain/handback and elastic scale-up paths use this to steer
+        a slice onto (or off) a specific island; user programs keep
+        naming the same virtual devices throughout.
+        """
+        self.island_id = island_id
+
     def __repr__(self) -> str:  # pragma: no cover
         state = "bound" if self.bound else "unbound"
         return f"<VirtualSlice {self.slice_id}: {self.n_devices} tpus, {state}>"

@@ -101,7 +101,9 @@ class Cluster:
 
     @property
     def n_devices(self) -> int:
-        return self.spec.total_devices
+        # Live count, not the construction spec: islands can be added at
+        # runtime (elastic scale-up).
+        return sum(isl.n_devices for isl in self.islands)
 
     def island_of(self, device: Device) -> Island:
         return self.islands[device.island_id]

@@ -28,10 +28,47 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard for typing only
     from repro.hw.host import Host
     from repro.trace.events import TraceRecorder
 
-__all__ = ["CollectiveRendezvous", "Device", "DeviceFailure", "HbmAllocator", "Kernel"]
+__all__ = [
+    "CollectiveRendezvous",
+    "Device",
+    "DeviceFailure",
+    "FaultError",
+    "HbmAllocator",
+    "Kernel",
+    "unwrap_fault",
+]
 
 
-class DeviceFailure(RuntimeError):
+class FaultError(RuntimeError):
+    """Base of hardware-loss exceptions (device failure, host crash).
+
+    Fault exceptions frequently arrive *wrapped* — a failed transfer
+    process delivers ``ProcessFailed(DeviceFailure)``, an interrupted
+    prep ``ProcessFailed(Interrupt(HostFailure))`` — so code deciding
+    "is this a survivable peer loss?" must use :func:`unwrap_fault`
+    rather than a bare ``isinstance``.
+    """
+
+
+def unwrap_fault(exc: Optional[BaseException]) -> Optional["FaultError"]:
+    """The :class:`FaultError` inside ``exc``'s cause chain, if any.
+
+    Walks both explicit ``.cause`` attributes (``ProcessFailed``,
+    ``Interrupt``) and implicit ``__cause__`` chaining.
+    """
+    seen: set[int] = set()
+    while exc is not None and id(exc) not in seen:
+        seen.add(id(exc))
+        if isinstance(exc, FaultError):
+            return exc
+        nested = getattr(exc, "cause", None)
+        if not isinstance(nested, BaseException):
+            nested = exc.__cause__
+        exc = nested
+    return None
+
+
+class DeviceFailure(FaultError):
     """A kernel (or grant) was lost because its device failed.
 
     Carries the failed device's id and the reason (hardware fault, host
@@ -56,17 +93,31 @@ class HbmAllocator:
     issued it ("simple back-pressure", paper §4.6).
     """
 
-    def __init__(self, sim: Simulator, capacity_bytes: int, name: str = ""):
+    def __init__(
+        self,
+        sim: Simulator,
+        capacity_bytes: int,
+        name: str = "",
+        device: Optional["Device"] = None,
+    ):
         self.sim = sim
         self.capacity = capacity_bytes
         self.used = 0
         self.name = name or "hbm"
+        #: Owning device, when this allocator backs a real core; lets
+        #: ``alloc`` fail fast (and ``fail_waiters`` cascade) on failure.
+        self.device = device
         self._waiters: Deque[tuple[Event, int]] = deque()
         self.peak_used = 0
+        self.cancellations = 0
 
     @property
     def free(self) -> int:
         return self.capacity - self.used
+
+    @property
+    def queue_len(self) -> int:
+        return len(self._waiters)
 
     def alloc(self, nbytes: int) -> Event:
         if nbytes < 0:
@@ -77,6 +128,11 @@ class HbmAllocator:
                 f"{self.capacity}"
             )
         ev = self.sim.event(name=f"hbm_alloc:{self.name}")
+        if self.device is not None and self.device.failed:
+            # Fail fast, mirroring enqueue-to-failed-device semantics: a
+            # grant on a dead core would otherwise queue forever.
+            ev.fail(DeviceFailure(self.device.device_id, "alloc on failed device"))
+            return ev
         if not self._waiters and self.used + nbytes <= self.capacity:
             self._grant(ev, nbytes)
         else:
@@ -88,18 +144,53 @@ class HbmAllocator:
         self.peak_used = max(self.peak_used, self.used)
         ev.succeed(nbytes)
 
-    def free_bytes(self, nbytes: int) -> None:
-        if nbytes > self.used:
-            raise RuntimeError(
-                f"{self.name}: freeing {nbytes} bytes but only {self.used} in use"
-            )
-        self.used -= nbytes
+    def _grant_scan(self) -> None:
         # Grant strictly in FIFO order; stop at the first waiter that
         # still does not fit (no small-request overtaking, which would
         # starve large buffers).
         while self._waiters and self.used + self._waiters[0][1] <= self.capacity:
             ev, want = self._waiters.popleft()
             self._grant(ev, want)
+
+    def free_bytes(self, nbytes: int) -> None:
+        if nbytes > self.used:
+            raise RuntimeError(
+                f"{self.name}: freeing {nbytes} bytes but only {self.used} in use"
+            )
+        self.used -= nbytes
+        self._grant_scan()
+
+    def cancel(self, ev: Event, cause: Optional[BaseException] = None) -> bool:
+        """Remove one queued waiter and re-run the FIFO grant scan.
+
+        Without cancellation, a prep blocked on a failed device's grant
+        stalls its retry loop forever — and a cancelled head-of-queue
+        request would keep blocking every waiter behind it.  ``cause``
+        (when given) fails the waiter's event so its owner observes the
+        loss; otherwise the event is silently abandoned (the caller
+        already observed a failure elsewhere).  Returns False when the
+        event is not a queued waiter (already granted, or unknown).
+        """
+        for i, (waiter, _) in enumerate(self._waiters):
+            if waiter is ev:
+                del self._waiters[i]
+                self.cancellations += 1
+                if cause is not None and not ev.triggered:
+                    ev.fail(cause)
+                self._grant_scan()
+                return True
+        return False
+
+    def fail_waiters(self, cause: BaseException) -> int:
+        """Fail every queued waiter with ``cause`` (device-failure abort
+        path); returns how many were cancelled."""
+        n = len(self._waiters)
+        while self._waiters:
+            ev, _ = self._waiters.popleft()
+            self.cancellations += 1
+            if not ev.triggered:
+                ev.fail(cause)
+        return n
 
 
 class CollectiveRendezvous:
@@ -233,7 +324,9 @@ class Device:
         self.coords = coords
         self.host = host
         self.trace = trace
-        self.hbm = HbmAllocator(sim, config.hbm_bytes, name=f"hbm[d{device_id}]")
+        self.hbm = HbmAllocator(
+            sim, config.hbm_bytes, name=f"hbm[d{device_id}]", device=self
+        )
         self._queue: Store = Store(sim, name=f"devq[d{device_id}]")
         self.busy_us = 0.0          # time spent executing kernels
         self.kernels_run = 0
@@ -264,7 +357,13 @@ class Device:
             return
         self.failed = True
         self.fail_count += 1
-        self._proc.interrupt(DeviceFailure(self.device_id, reason))
+        cause = DeviceFailure(self.device_id, reason)
+        # Preps blocked waiting on this device's HBM must observe the
+        # loss: cancelling the waiters is what lets their retry loops
+        # re-run instead of stalling forever on a grant that can never
+        # arrive.
+        self.hbm.fail_waiters(cause)
+        self._proc.interrupt(cause)
 
     def restart(self) -> None:
         """Bring a failed device back with an empty queue.
@@ -332,12 +431,18 @@ class Device:
                         break
                     self._abort_kernel(queued, cause)
                 return
-            except DeviceFailure as exc:
+            except Exception as exc:  # noqa: BLE001 - peer-loss filter below
                 # A *peer* failed: this device was released from a gang
-                # rendezvous (or a gate fed by a dead producer).  Drop the
-                # poisoned kernel and keep draining — the device itself is
-                # healthy.
-                self._abort_kernel(kernel, exc)
+                # rendezvous (or a gate fed by a dead producer).  The
+                # fault often arrives wrapped (a failed transfer process
+                # delivers ProcessFailed(DeviceFailure)); unwrap before
+                # deciding.  Drop the poisoned kernel and keep draining —
+                # the device itself is healthy.  Anything that is not a
+                # hardware fault is a programming error: re-raise.
+                fault = unwrap_fault(exc)
+                if fault is None:
+                    raise
+                self._abort_kernel(kernel, fault)
 
     def utilization(self) -> float:
         """Fraction of wall-clock time spent executing kernels so far."""

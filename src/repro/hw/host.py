@@ -6,6 +6,13 @@ preparation (buffer allocation, launch descriptor setup), and DCN message
 handling.  The CPU is a serial resource — host-side work on the critical
 path is exactly what parallel asynchronous dispatch (paper §4.5) removes,
 so contention here must be modeled, not abstracted away.
+
+A host *crash* takes down more than its PCIe-attached devices: the CPU
+itself becomes unavailable, so executor prep that is queued for (or
+holding) the CPU fails fast with :class:`HostFailure` instead of
+"running" on dead silicon.  That failure cascades into the dispatching
+program exactly like a :class:`~repro.hw.device.DeviceFailure`, which is
+where ``retry_on_failure`` catches it.
 """
 
 from __future__ import annotations
@@ -13,11 +20,25 @@ from __future__ import annotations
 from typing import Generator
 
 from repro.config import SystemConfig
-from repro.sim import Resource, Simulator
+from repro.sim import Process, Resource, Simulator
 
-from repro.hw.device import Device, Kernel
+from repro.hw.device import Device, FaultError, Kernel
 
-__all__ = ["Host"]
+__all__ = ["Host", "HostFailure"]
+
+
+class HostFailure(FaultError):
+    """Host-side work was lost because its host crashed.
+
+    Mirrors :class:`~repro.hw.device.DeviceFailure` for the CPU half of a
+    host crash: executor preps queued on (or holding) the dead host's CPU
+    fail with this instead of completing impossibly.
+    """
+
+    def __init__(self, host_id: int, reason: str = "host crash"):
+        super().__init__(f"host h{host_id} failed: {reason}")
+        self.host_id = host_id
+        self.reason = reason
 
 
 class Host:
@@ -41,18 +62,30 @@ class Host:
         self.nic = Resource(sim, capacity=1, name=f"nic[h{host_id}]")
         #: Set while the host is crashed; its devices are down with it.
         self.failed = False
+        #: In-flight prep work processes, interrupted on crash.
+        self._prep_procs: set[Process] = set()
+        self.preps_aborted = 0
 
     @property
     def name(self) -> str:
         return f"h{self.host_id}"
 
     def crash(self, reason: str = "host crash") -> None:
-        """Take the host down, failing every attached device."""
+        """Take the host down: every attached device fails, and the CPU
+        becomes unavailable — queued acquisitions and in-flight prep work
+        fail fast with :class:`HostFailure`."""
         if self.failed:
             return
         self.failed = True
         for device in self.devices:
             device.fail(reason)
+        cause = HostFailure(self.host_id, reason)
+        # Queued CPU waiters first (they would otherwise be granted a
+        # slot on the dead CPU), then in-flight holders.
+        self.cpu.fail_waiters(cause)
+        for proc in list(self._prep_procs):
+            self.preps_aborted += 1
+            proc.interrupt(cause)
 
     def restore(self) -> None:
         """Bring the host and its devices back (empty queues)."""
@@ -69,6 +102,25 @@ class Host:
     # -- host-side work ----------------------------------------------------
     def cpu_work(self, work_us: float) -> Generator:
         """Occupy the serial CPU for ``work_us``.  ``yield from`` this."""
+        yield from self.cpu.using(self.sim, work_us)
+
+    def prep_process(self, work_us: float, name: str = "") -> Process:
+        """Spawn executor-prep CPU work as a crash-aware process.
+
+        The returned process fails with :class:`HostFailure` if the host
+        is already down or crashes while the work is queued or running —
+        the fail-fast path that feeds ``retry_on_failure``.
+        """
+        proc = self.sim.process(
+            self._guarded_cpu_work(work_us), name=name or f"prep@{self.name}"
+        )
+        self._prep_procs.add(proc)
+        proc.add_callback(lambda ev: self._prep_procs.discard(proc))
+        return proc
+
+    def _guarded_cpu_work(self, work_us: float) -> Generator:
+        if self.failed:
+            raise HostFailure(self.host_id, "prep on crashed host")
         yield from self.cpu.using(self.sim, work_us)
 
     def enqueue_kernel(self, device: Device, kernel: Kernel) -> Generator:

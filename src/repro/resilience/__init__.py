@@ -12,7 +12,10 @@ failure/recovery a first-class workload dimension of the simulator:
   snapshot/restore cost model over PCIe + DCN;
 * :mod:`repro.resilience.recovery` — central detection, scheduler
   eviction, virtual-slice remapping, and the handshake with
-  ``ProgramExecution.retry_on_failure``.
+  ``ProgramExecution.retry_on_failure``;
+* :mod:`repro.resilience.elastic` — the grow half: elastic scale-up
+  onto added/repaired islands, and graceful island drain/handback for
+  preemption notices (checkpoint + vacate instead of abrupt loss).
 
 Typical wiring::
 
@@ -35,6 +38,7 @@ Typical wiring::
 """
 
 from repro.resilience.checkpoint import CheckpointManager
+from repro.resilience.elastic import ElasticController
 from repro.resilience.faults import (
     FaultEvent,
     FaultInjector,
@@ -45,6 +49,7 @@ from repro.resilience.recovery import RecoveryManager
 
 __all__ = [
     "CheckpointManager",
+    "ElasticController",
     "FaultEvent",
     "FaultInjector",
     "FaultKind",

@@ -41,12 +41,19 @@ class FaultEvent:
     after the fault (MTTR); ``repair_us == 0`` means permanent loss
     (island preemptions always resume — their ``repair_us`` is the
     preemption duration and must be positive).
+
+    ``notice_us`` (island preemptions only) models an advance
+    *preemption notice*: the event is delivered at ``at_us`` and the
+    hardware actually goes away ``notice_us`` later, giving an attached
+    :class:`~repro.resilience.elastic.ElasticController` the window to
+    drain the island gracefully instead of losing in-flight work.
     """
 
     at_us: float
     kind: FaultKind = field(compare=False)
     target: int = field(compare=False)
     repair_us: float = field(default=0.0, compare=False)
+    notice_us: float = field(default=0.0, compare=False)
 
     def __post_init__(self) -> None:
         if self.at_us < 0:
@@ -55,6 +62,10 @@ class FaultEvent:
             raise ValueError(f"repair time must be >= 0, got {self.repair_us}")
         if self.kind is FaultKind.ISLAND_PREEMPTION and self.repair_us <= 0:
             raise ValueError("island preemption needs a positive duration")
+        if self.notice_us < 0:
+            raise ValueError(f"notice time must be >= 0, got {self.notice_us}")
+        if self.notice_us > 0 and self.kind is not FaultKind.ISLAND_PREEMPTION:
+            raise ValueError("advance notice only applies to island preemptions")
 
 
 class FaultSchedule:
@@ -87,10 +98,14 @@ class FaultSchedule:
         return self.add(FaultEvent(at_us, FaultKind.HOST_CRASH, host_id, repair_us))
 
     def island_preemption(
-        self, at_us: float, island_id: int, duration_us: float
+        self, at_us: float, island_id: int, duration_us: float,
+        notice_us: float = 0.0,
     ) -> "FaultSchedule":
         return self.add(
-            FaultEvent(at_us, FaultKind.ISLAND_PREEMPTION, island_id, duration_us)
+            FaultEvent(
+                at_us, FaultKind.ISLAND_PREEMPTION, island_id, duration_us,
+                notice_us=notice_us,
+            )
         )
 
     @classmethod

@@ -22,6 +22,8 @@ system.
 
 from __future__ import annotations
 
+import warnings
+
 from typing import Generator, TYPE_CHECKING
 
 from repro.hw.device import Device
@@ -84,6 +86,25 @@ class RecoveryManager:
             if event.repair_us > 0:
                 self._after(event.repair_us, lambda: self.restore_host(host))
         elif event.kind is FaultKind.ISLAND_PREEMPTION:
+            if event.notice_us > 0:
+                elastic = self.system.elastic
+                if elastic is not None:
+                    elastic.preemption_notice(
+                        event.target, event.notice_us, event.repair_us
+                    )
+                    return
+                warnings.warn(
+                    f"preemption notice for island {event.target} dropped: no "
+                    "ElasticController attached; preempting abruptly at the "
+                    "deadline instead",
+                    UserWarning,
+                    stacklevel=1,
+                )
+                self._after(
+                    event.notice_us,
+                    lambda: self.preempt_island(event.target, event.repair_us),
+                )
+                return
             self.preempt_island(event.target, event.repair_us)
         else:  # pragma: no cover - defensive
             raise ValueError(f"unknown fault kind {event.kind!r}")
@@ -108,6 +129,8 @@ class RecoveryManager:
             return
         self.repairs += 1
         device.restart()
+        self._readmit(device)
+        self.system.resource_manager.capacity_changed("repair", device.island_id)
 
     def crash_host(self, host: Host) -> None:
         """A host dies, taking all its PCIe-attached devices with it."""
@@ -126,6 +149,9 @@ class RecoveryManager:
             return
         self.repairs += 1
         host.restore()
+        for device in host.devices:
+            self._readmit(device)
+        self.system.resource_manager.capacity_changed("restore", host.island_id)
 
     def preempt_island(self, island_id: int, duration_us: float) -> None:
         """The whole island is preempted for ``duration_us``: scheduling
@@ -144,8 +170,12 @@ class RecoveryManager:
         def _resume() -> None:
             for device in island.devices:
                 device.restart()
+                scheduler.readmit_device(device.device_id)
             scheduler.resume()
             self.repairs += 1
+            self.system.resource_manager.capacity_changed(
+                "preemption-end", island_id
+            )
 
         self._after(duration_us, _resume)
 
@@ -167,8 +197,18 @@ class RecoveryManager:
                 slices.append(vslice)
         rm = self.system.resource_manager
         for vslice in slices:
-            if vslice.bound and not vslice.needs_remap:
+            on_draining = (
+                vslice.bound
+                and not vslice.needs_remap
+                and rm.is_draining(vslice.group.island.island_id)
+            )
+            if vslice.bound and not vslice.needs_remap and not on_draining:
                 continue
+            if vslice.island_id is not None and rm.is_draining(vslice.island_id):
+                # The pin names hardware that is going away; clients only
+                # hold virtual device names, so recovery may migrate the
+                # slice anywhere (the point of the indirection).
+                vslice.repin(None)
             attempts = 0
             while True:
                 try:
@@ -189,6 +229,12 @@ class RecoveryManager:
         self.programs_recovered += 1
 
     # -- helpers -------------------------------------------------------------
+    def _readmit(self, device: Device) -> None:
+        """Tell the island scheduler a restarted device is schedulable
+        again (clears any stale granted-work accounting)."""
+        island = self.system.cluster.islands[device.island_id]
+        self.system.scheduler_for(island).readmit_device(device.device_id)
+
     def _host(self, host_id: int) -> Host:
         for host in self.system.cluster.hosts:
             if host.host_id == host_id:

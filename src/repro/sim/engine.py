@@ -366,6 +366,17 @@ class Simulator:
     def any_of(self, events: Iterable[Event]) -> AnyOf:
         return AnyOf(self, events)
 
+    def all_settled(self, events: Iterable[Event]) -> AllOf:
+        """An event that fires once every input has triggered *either
+        way* — success or failure (``all_of`` fails fast; quiescing a
+        failed set of activities must not)."""
+        waiters = []
+        for ev in events:
+            w = self.event(name="settled")
+            ev.add_callback(lambda e, w=w: w.succeed(None))
+            waiters.append(w)
+        return self.all_of(waiters)
+
     # -- scheduling --------------------------------------------------------
     def _schedule_event(self, event: Event, delay: float = 0.0) -> None:
         self._seq += 1

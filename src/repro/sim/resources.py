@@ -70,6 +70,21 @@ class Resource:
             self._waiters.append(ev)
         return ev
 
+    def fail_waiters(self, cause: BaseException) -> int:
+        """Fail every queued (not-yet-granted) acquisition with ``cause``.
+
+        Models a serial resource going away (e.g. a crashed host CPU):
+        holders are handled separately by their owner, but queued waiters
+        would otherwise be granted a slot on dead hardware.  Returns how
+        many waiters were failed.
+        """
+        n = len(self._waiters)
+        while self._waiters:
+            ev = self._waiters.popleft()
+            if not ev.triggered:
+                ev.fail(cause)
+        return n
+
     def release(self) -> None:
         if self._in_use <= 0:
             raise RuntimeError(f"release of idle resource {self.name!r}")

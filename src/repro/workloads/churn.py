@@ -56,6 +56,8 @@ class ChurnResult:
     faults_injected: int
     recoveries: int
     remaps: int
+    #: Devices added mid-run by elastic scale-up (0 when disabled).
+    devices_added: int = 0
     per_client_steps: dict[str, int] = field(default_factory=dict)
     abandoned: list[str] = field(default_factory=list)
     system_handle: Optional[PathwaysSystem] = None
@@ -124,6 +126,7 @@ def run_churn(
     config: SystemConfig = DEFAULT_CONFIG,
     policy: Optional[SchedulingPolicy] = None,
     horizon_slack: float = 20.0,
+    add_island_at: Optional[tuple[float, int, int]] = None,
 ) -> ChurnResult:
     """N tenants training under device churn on one island.
 
@@ -132,6 +135,12 @@ def run_churn(
     step 0 on every loss).  Spare devices (``n_hosts * devices_per_host
     - n_clients * slice_devices``) plus repairs are what remapping draws
     on.
+
+    ``add_island_at=(at_us, n_hosts, devices_per_host)`` exercises
+    elastic scale-up under churn: a fresh island joins the cluster at
+    ``at_us``, widening the healthy-capacity pool that post-failure
+    remaps draw from (recovery can then land evicted tenants on the new
+    island instead of backing off for a repair).
     """
     if n_clients * slice_devices > n_hosts * devices_per_host:
         raise ValueError(
@@ -144,6 +153,18 @@ def run_churn(
         policy=policy,
     )
     recovery = RecoveryManager(system)
+
+    grown = {"devices": 0}
+    if add_island_at is not None:
+        grow_at_us, grow_hosts, grow_per_host = add_island_at
+
+        def _grow(ev) -> None:
+            # Same policy as the original islands, so fairness sweeps
+            # compare like with like after a remap lands here.
+            system.add_island(grow_hosts, grow_per_host, policy=policy)
+            grown["devices"] = grow_hosts * grow_per_host
+
+        system.sim.timeout(grow_at_us).add_callback(_grow)
 
     injector = None
     if mtbf_us is not None:
@@ -205,6 +226,7 @@ def run_churn(
         faults_injected=len(injector.injected) if injector is not None else 0,
         recoveries=recovery.programs_recovered,
         remaps=recovery.remaps,
+        devices_added=grown["devices"],
         per_client_steps={name: s["done"] for name, s in stats.items()},
         abandoned=[name for name, s in stats.items() if s["abandoned"]],
         system_handle=system,

@@ -5,11 +5,31 @@ from __future__ import annotations
 import numpy as np
 import pytest
 
+from repro.testing import (
+    format_resilience_warnings,
+    record_warnings,
+    resilience_warnings,
+)
+
 from repro.config import DEFAULT_CONFIG, SystemConfig
 from repro.core.system import PathwaysSystem
 from repro.hw.cluster import Cluster, ClusterSpec, make_cluster
 from repro.sim import Simulator
 from repro.xla.shapes import TensorSpec
+
+
+@pytest.fixture(autouse=True)
+def fail_on_resilience_warnings():
+    """Fail any test that triggers a resilience fault-path UserWarning.
+
+    See :mod:`repro.testing` for why this records instead of escalating.
+    Tests that exercise the warnings deliberately wrap the trigger in
+    ``pytest.warns`` (whose inner catcher keeps them out of this one).
+    """
+    with record_warnings() as caught:
+        yield
+    bad = resilience_warnings(caught)
+    assert not bad, format_resilience_warnings(bad, "test")
 
 
 @pytest.fixture
