@@ -30,6 +30,19 @@ STATE_BYTES = 8 << 20
 SEEDS = [1, 3]
 STEPS = 30
 
+#: Paper-scale sweep (ROADMAP "reliability studies at paper scale"):
+#: goodput vs MTBF on the paper's configuration sizes, with tenants on
+#: *aggregate* device groups (512-core gangs are represented by 16
+#: simulated devices whose fault rates are scaled to preserve the
+#: per-gang arrival rate — see ``run_churn``).
+PAPER_MTBF_US = [None, 1_000_000.0, 400_000.0, 200_000.0]
+#: label -> (n_hosts, devices_per_host, slice_devices)
+PAPER_CONFIGS = {
+    "A (512h x 4)": (512, 4, 512),
+    "B (64h x 8)": (64, 8, 128),
+}
+PAPER_STEPS = 20
+
 
 def _mean_goodput(mtbf_us, checkpoint_interval_us, seeds, policy=None):
     results = [
@@ -82,6 +95,44 @@ def sweep():
         )
         policy_rows[label] = (goodput, results[0])
     return rows, policy_rows
+
+
+def paper_scale_sweep():
+    """Goodput vs MTBF at the paper's deployment sizes (aggregate gangs).
+
+    Smoke mode keeps configuration A (the ROADMAP item: 512 hosts,
+    2048 cores) with a trimmed MTBF sweep; full mode adds configuration
+    B and the deeper sweep.
+    """
+    configs = dict(smoke_trim(list(PAPER_CONFIGS.items()), keep=1))
+    mtbfs = smoke_trim(PAPER_MTBF_US, keep=3)
+    rows = []
+    for label, (n_hosts, per_host, slice_devices) in configs.items():
+        for mtbf in mtbfs:
+            r = run_churn(
+                n_clients=3,
+                steps_per_client=PAPER_STEPS,
+                slice_devices=slice_devices,
+                n_hosts=n_hosts,
+                devices_per_host=per_host,
+                mtbf_us=mtbf,
+                checkpoint_interval_us=CKPT_INTERVAL_US,
+                state_bytes=STATE_BYTES,
+                seed=1,
+            )
+            rows.append(
+                {
+                    "config": label,
+                    "mtbf": mtbf,
+                    "goodput": r.goodput_steps_per_second,
+                    "useful": r.useful_steps,
+                    "replayed": r.replayed_steps,
+                    "faults": r.faults_injected,
+                    "remaps": r.remaps,
+                    "abandoned": bool(r.abandoned),
+                }
+            )
+    return rows
 
 
 def test_recovery_overhead(benchmark):
@@ -138,3 +189,47 @@ def test_recovery_overhead(benchmark):
     # The policy machinery keeps functioning under churn.
     for label, (goodput, result) in policy_rows.items():
         assert goodput > 0 and not result.abandoned, label
+
+
+def test_recovery_overhead_paper_scale(benchmark):
+    """The ROADMAP paper-scale item: goodput vs MTBF on config A/B sizes
+    with aggregate device groups."""
+    rows = benchmark.pedantic(paper_scale_sweep, rounds=1, iterations=1)
+
+    table = Table(
+        "Paper-scale recovery: goodput vs per-device MTBF "
+        "(3 tenants on aggregate gangs, fault rate scaled to gang width)",
+        columns=[
+            "config", "MTBF (ms)", "goodput", "useful", "replayed",
+            "faults", "remaps",
+        ],
+    )
+    for row in rows:
+        table.add_row(
+            row["config"],
+            "inf" if row["mtbf"] is None else row["mtbf"] / 1000.0,
+            row["goodput"],
+            row["useful"],
+            row["replayed"],
+            row["faults"],
+            row["remaps"],
+        )
+    table.show()
+
+    by_config: dict[str, list[dict]] = {}
+    for row in rows:
+        by_config.setdefault(row["config"], []).append(row)
+    for label, series in by_config.items():
+        # Every tenant finished every run (recovery handled aggregate
+        # groups: no hangs, no abandonment at these rates).
+        assert not any(r["abandoned"] for r in series), label
+        # The fault-free baseline exists and beats every faulty regime.
+        ideal = series[0]
+        assert ideal["mtbf"] is None
+        for row in series[1:]:
+            assert row["goodput"] < ideal["goodput"], (label, row)
+            # Faults actually fired and were recovered via remaps.
+            assert row["faults"] > 0 and row["remaps"] > 0, (label, row)
+        # Goodput degrades monotonically as MTBF decreases.
+        goodputs = [r["goodput"] for r in series[1:]]
+        assert all(a >= b for a, b in zip(goodputs, goodputs[1:])), (label, goodputs)

@@ -1,0 +1,124 @@
+"""Engine throughput: wall-clock cost of the Figure-5 dispatch sweep.
+
+Unlike every other bench (which reports *simulated* quantities), this
+one measures the simulator itself: wall-clock seconds and engine
+events/sec per sweep point, on the paper's dispatch microbenchmark at
+configuration-B scale (8 TPUs/host, up to 64 hosts = 512 cores) plus a
+paper-scale churn point (configuration A, aggregate device groups).
+
+The sweep emits a ``BENCH_sim_throughput.json`` trajectory artifact
+(see :mod:`repro.bench.wallclock`); the CI perf-smoke job uploads it
+and fails on a >30% events/sec regression against the checked-in
+baseline (``benchmarks/baselines/sim_throughput_smoke.json``) via
+``benchmarks/check_throughput_regression.py``.
+"""
+
+from __future__ import annotations
+
+from repro.bench.harness import Table, geometric_range, smoke_mode
+from repro.bench.wallclock import WallclockRecorder
+from repro.workloads.churn import run_churn
+from repro.workloads.microbench import run_jax, run_pathways
+
+#: Config-B scale: 8 TPUs/host, 2..64 hosts (512 cores at the top).
+HOSTS = geometric_range(2, 64, smoke_stop=8)
+DEVICES_PER_HOST = 8
+
+
+def _micro_events(r) -> int:
+    return r.sim_events
+
+
+def _micro_sim_us(r) -> float:
+    return r.sim_elapsed_us
+
+
+def sweep() -> WallclockRecorder:
+    rec = WallclockRecorder("sim_throughput")
+    for h in HOSTS:
+        rec.measure(
+            "PW-C", h,
+            lambda h=h: run_pathways(
+                "chained", h, devices_per_host=DEVICES_PER_HOST, n_calls=4
+            ),
+            events=_micro_events, sim_us=_micro_sim_us,
+        )
+        rec.measure(
+            "PW-O", h,
+            lambda h=h: run_pathways(
+                "opbyop", h, devices_per_host=DEVICES_PER_HOST, n_calls=8
+            ),
+            events=_micro_events, sim_us=_micro_sim_us,
+        )
+        rec.measure(
+            "PW-F", h,
+            lambda h=h: run_pathways(
+                "fused", h, devices_per_host=DEVICES_PER_HOST, n_calls=8
+            ),
+            events=_micro_events, sim_us=_micro_sim_us,
+        )
+        rec.measure(
+            "JAX-F", h,
+            lambda h=h: run_jax(
+                "fused", h, devices_per_host=DEVICES_PER_HOST, n_calls=15
+            ),
+            events=_micro_events, sim_us=_micro_sim_us,
+        )
+    # Paper-scale reliability point: config A (512 hosts x 4 TPUs),
+    # three tenants on aggregate 512-core slices under device churn.
+    steps = 10 if smoke_mode() else 20
+    churn = rec.measure(
+        "CHURN-A", 512,
+        lambda: run_churn(
+            n_clients=3,
+            steps_per_client=steps,
+            slice_devices=512,
+            n_hosts=512,
+            devices_per_host=4,
+            mtbf_us=400_000.0,
+            checkpoint_interval_us=15_000.0,
+        ),
+        events=lambda r: r.system_handle.sim.events_processed,
+        sim_us=lambda r: r.elapsed_us,
+    )
+    assert churn.useful_steps == 3 * steps or not churn.abandoned
+    return rec
+
+
+def test_sim_throughput():
+    rec = sweep()
+
+    table = Table(
+        "Simulator throughput: engine events/sec and wall-clock per "
+        "sweep point (Fig. 5 dispatch at config B + config-A churn)",
+        columns=["series", "x", "events", "wall (s)", "events/s", "sim us/s"],
+    )
+    for p in rec.points:
+        table.add_row(
+            p.series, p.x, p.events, p.wall_s, p.events_per_sec,
+            p.sim_us_per_wall_s,
+        )
+    # The Figure-5 dispatch sweep on its own (the headline ≥5× speedup
+    # quantity) and the overall total including the churn point.
+    fig5 = [p for p in rec.points if p.series != "CHURN-A"]
+    fig5_wall = sum(p.wall_s for p in fig5)
+    fig5_events = sum(p.events for p in fig5)
+    table.add_row(
+        "FIG5-B", 0, fig5_events, fig5_wall,
+        fig5_events / fig5_wall if fig5_wall > 0 else 0.0, 0.0,
+    )
+    table.add_row(
+        "TOTAL", 0, rec.total_events, rec.total_wall_s,
+        rec.aggregate_events_per_sec, 0.0,
+    )
+    table.show()
+
+    path = rec.write()
+    print(f"trajectory artifact written to {path}")
+
+    # Smoke-safe sanity: every point did real work and was timed.
+    for p in rec.points:
+        assert p.events > 0 and p.wall_s > 0 and p.sim_us > 0, p
+    # Very conservative floor — catches only catastrophic engine
+    # regressions; the CI baseline comparison is the sharp check.
+    assert rec.aggregate_events_per_sec > 10_000, rec.aggregate_events_per_sec

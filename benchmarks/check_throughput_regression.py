@@ -1,0 +1,145 @@
+#!/usr/bin/env python3
+"""Guard the engine's throughput against regressions.
+
+Compares a ``BENCH_sim_throughput.json`` trajectory artifact (written by
+``benchmarks/bench_sim_throughput.py``) against the checked-in baseline
+and exits non-zero when either
+
+* the whole-sweep **events/sec** dropped more than ``--tolerance``
+  (default 30%) below the baseline — the wall-clock half of the check;
+  machine-speed differences can be absorbed with a larger tolerance or
+  the ``REPRO_PERF_TOLERANCE`` environment variable, or
+* any sweep point processed more than ``--tolerance`` **more engine
+  events** than the baseline recorded — the deterministic half: event
+  counts do not depend on the machine, so a blow-up here is always an
+  algorithmic regression (an optimization quietly un-done, a new
+  per-kernel event), or
+* a baseline sweep point is missing from the artifact.
+
+Regenerate the baseline after *intentional* changes with ``--update``::
+
+    REPRO_BENCH_SMOKE=1 PYTHONPATH=src python -m pytest benchmarks/bench_sim_throughput.py -q
+    python benchmarks/check_throughput_regression.py BENCH_sim_throughput.json --update
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+from typing import Optional
+
+DEFAULT_BASELINE = os.path.join(
+    os.path.dirname(os.path.abspath(__file__)),
+    "baselines",
+    "sim_throughput_smoke.json",
+)
+
+
+def _points_by_key(doc: dict) -> dict[tuple, dict]:
+    return {(p["series"], p["x"]): p for p in doc["points"]}
+
+
+def check(
+    artifact: dict,
+    baseline: dict,
+    tolerance: float,
+    wall_tolerance: Optional[float] = None,
+) -> list[str]:
+    """Returns a list of human-readable failures (empty = pass).
+
+    ``tolerance`` bounds the machine-independent event-count check;
+    ``wall_tolerance`` (default: same) bounds the events/sec check —
+    widen it when the runner is slower than the baseline machine.
+    """
+    if wall_tolerance is None:
+        wall_tolerance = tolerance
+    failures: list[str] = []
+    if artifact.get("smoke") != baseline.get("smoke"):
+        failures.append(
+            f"mode mismatch: artifact smoke={artifact.get('smoke')} vs "
+            f"baseline smoke={baseline.get('smoke')} — compare like with like"
+        )
+        return failures
+
+    base_eps = baseline["totals"]["events_per_sec"]
+    cur_eps = artifact["totals"]["events_per_sec"]
+    floor = base_eps * (1.0 - wall_tolerance)
+    if cur_eps < floor:
+        failures.append(
+            f"aggregate events/sec regressed: {cur_eps:,.0f} < {floor:,.0f} "
+            f"(baseline {base_eps:,.0f}, tolerance {wall_tolerance:.0%})"
+        )
+
+    current = _points_by_key(artifact)
+    for key, base_point in _points_by_key(baseline).items():
+        point = current.get(key)
+        if point is None:
+            failures.append(f"sweep point {key} missing from artifact")
+            continue
+        ceiling = base_point["events"] * (1.0 + tolerance)
+        if point["events"] > ceiling:
+            failures.append(
+                f"{key}: event count blew up: {point['events']:,d} > "
+                f"{ceiling:,.0f} (baseline {base_point['events']:,d}) — "
+                "event counts are machine-independent, this is algorithmic"
+            )
+    return failures
+
+
+def main(argv: list[str]) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("artifact", help="BENCH_sim_throughput.json to check")
+    parser.add_argument("--baseline", default=DEFAULT_BASELINE)
+    parser.add_argument(
+        "--tolerance",
+        type=float,
+        default=float(os.environ.get("REPRO_PERF_TOLERANCE", "0.30")),
+        help="allowed fractional regression (default 0.30)",
+    )
+    parser.add_argument(
+        "--wall-tolerance",
+        type=float,
+        default=None,
+        help="separate tolerance for the events/sec (wall-clock) check; "
+        "defaults to --tolerance.  CI widens this to absorb runner-speed "
+        "differences while keeping the event-count check tight.",
+    )
+    parser.add_argument(
+        "--update",
+        action="store_true",
+        help="write the artifact as the new baseline instead of checking",
+    )
+    args = parser.parse_args(argv)
+
+    with open(args.artifact) as fh:
+        artifact = json.load(fh)
+
+    if args.update:
+        os.makedirs(os.path.dirname(args.baseline), exist_ok=True)
+        with open(args.baseline, "w") as fh:
+            json.dump(artifact, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        print(f"baseline updated: {args.baseline}")
+        return 0
+
+    with open(args.baseline) as fh:
+        baseline = json.load(fh)
+
+    failures = check(artifact, baseline, args.tolerance, args.wall_tolerance)
+    if failures:
+        for f in failures:
+            print(f"FAIL: {f}", file=sys.stderr)
+        return 1
+    print(
+        f"ok: {artifact['totals']['events_per_sec']:,.0f} events/s over "
+        f"{len(artifact['points'])} points (baseline "
+        f"{baseline['totals']['events_per_sec']:,.0f}, "
+        f"tolerance {args.tolerance:.0%})"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv[1:]))

@@ -1,0 +1,153 @@
+"""Wall-clock / event-throughput measurement for the bench suite.
+
+The simulated-time layer (:mod:`repro.bench.harness`) reports what the
+*paper* measures — computations/second, goodput, latency — all in
+simulated microseconds.  This module measures what the *simulator*
+costs: real wall-clock seconds and engine events processed per wall
+second, per sweep point.  That is the quantity the hot-path work in
+:mod:`repro.sim.engine` optimizes, and the one the perf-smoke CI job
+guards against regression.
+
+A :class:`WallclockRecorder` collects one :class:`WallclockPoint` per
+``measure`` call and serializes the whole trajectory to a JSON artifact
+(``BENCH_<bench>.json`` by default) with enough metadata — python
+version, platform, smoke flag — to compare runs across commits.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import platform
+import sys
+import time
+from dataclasses import asdict, dataclass, field
+from typing import Any, Callable, Optional
+
+from repro.bench.harness import smoke_mode
+
+__all__ = ["WallclockPoint", "WallclockRecorder"]
+
+#: Bump when the artifact layout changes incompatibly.
+SCHEMA_VERSION = 1
+
+
+@dataclass
+class WallclockPoint:
+    """One sweep point: wall cost + event throughput of a sim run."""
+
+    series: str            # e.g. "PW-C"
+    x: float               # sweep coordinate (hosts, MTBF, ...)
+    wall_s: float          # wall-clock seconds for the whole point
+    events: int            # engine events processed
+    sim_us: float          # simulated time covered
+    extra: dict = field(default_factory=dict)
+
+    @property
+    def events_per_sec(self) -> float:
+        """Engine events per wall-clock second (the perf headline)."""
+        if self.wall_s <= 0:
+            return 0.0
+        return self.events / self.wall_s
+
+    @property
+    def sim_us_per_wall_s(self) -> float:
+        """Simulated microseconds advanced per wall second."""
+        if self.wall_s <= 0:
+            return 0.0
+        return self.sim_us / self.wall_s
+
+
+@dataclass
+class WallclockRecorder:
+    """Collects wall-clock sweep points and writes the JSON artifact."""
+
+    bench: str
+    points: list[WallclockPoint] = field(default_factory=list)
+
+    def measure(
+        self,
+        series: str,
+        x: float,
+        fn: Callable[[], Any],
+        events: Callable[[Any], int],
+        sim_us: Callable[[Any], float],
+        **extra: Any,
+    ) -> Any:
+        """Time ``fn()`` and record one point; returns ``fn``'s result.
+
+        ``events`` / ``sim_us`` extract the engine event count and the
+        simulated-time span from the result (runs build their own
+        :class:`~repro.sim.Simulator`, so the caller knows where its
+        counters live).
+        """
+        t0 = time.perf_counter()
+        result = fn()
+        wall_s = time.perf_counter() - t0
+        self.points.append(
+            WallclockPoint(
+                series=series,
+                x=x,
+                wall_s=wall_s,
+                events=int(events(result)),
+                sim_us=float(sim_us(result)),
+                extra=dict(extra),
+            )
+        )
+        return result
+
+    # -- aggregates ---------------------------------------------------------
+    @property
+    def total_wall_s(self) -> float:
+        return sum(p.wall_s for p in self.points)
+
+    @property
+    def total_events(self) -> int:
+        return sum(p.events for p in self.points)
+
+    @property
+    def aggregate_events_per_sec(self) -> float:
+        """Whole-sweep events/sec — the regression-check headline."""
+        wall = self.total_wall_s
+        if wall <= 0:
+            return 0.0
+        return self.total_events / wall
+
+    def series(self, name: str) -> list[WallclockPoint]:
+        return [p for p in self.points if p.series == name]
+
+    # -- artifact -----------------------------------------------------------
+    def to_dict(self) -> dict:
+        return {
+            "schema": SCHEMA_VERSION,
+            "bench": self.bench,
+            "smoke": smoke_mode(),
+            "python": sys.version.split()[0],
+            "platform": platform.platform(),
+            "unix_time": time.time(),
+            "totals": {
+                "wall_s": self.total_wall_s,
+                "events": self.total_events,
+                "events_per_sec": self.aggregate_events_per_sec,
+            },
+            "points": [
+                {**asdict(p), "events_per_sec": p.events_per_sec}
+                for p in self.points
+            ],
+        }
+
+    def write(self, path: Optional[str] = None) -> str:
+        """Serialize the trajectory; returns the path written.
+
+        Default path is ``BENCH_<bench>.json`` in the current directory,
+        overridable via the ``REPRO_BENCH_ARTIFACT_DIR`` environment
+        variable (the CI perf-smoke job points it at its artifact dir).
+        """
+        if path is None:
+            out_dir = os.environ.get("REPRO_BENCH_ARTIFACT_DIR", ".")
+            path = os.path.join(out_dir, f"BENCH_{self.bench}.json")
+        os.makedirs(os.path.dirname(path) or ".", exist_ok=True)
+        with open(path, "w") as fh:
+            json.dump(self.to_dict(), fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        return path

@@ -184,7 +184,11 @@ class PathwaysClient:
             max_attempts=max_attempts,
             checkpoint=checkpoint,
         )
-        self.system.sim.process(execution.run(), name=f"dispatch:{execution.name}")
+        sim = self.system.sim
+        sim.process(
+            execution.run(),
+            name=f"dispatch:{execution.name}" if sim.debug_names else "",
+        )
         self.programs_submitted += 1
         return execution
 

@@ -33,7 +33,7 @@ from repro.core.futures import PathwaysFuture
 from repro.core.ir import LowLevelNode, LowLevelProgram, TransferRoute
 from repro.core.object_store import MemorySpace, ObjectHandle
 from repro.core.program import unflatten
-from repro.hw.device import DeviceFailure, unwrap_fault
+from repro.hw.device import unwrap_fault
 from repro.sim import Event
 
 if TYPE_CHECKING:  # pragma: no cover
@@ -98,20 +98,28 @@ class ProgramExecution:
         self.attempts = 0
         self.exec_id = next(_exec_ids)
         self.name = f"{low.name}#{self.exec_id}"
+        debug = self.sim.debug_names
 
         #: Fires once the controller has enqueued everything and holds
         #: the output handles (what an OpByOp client waits for).
-        self.handles_ready: Event = self.sim.event(name=f"handles:{self.name}")
+        self.handles_ready: Event = self.sim.event(
+            name=f"handles:{self.name}" if debug else ""
+        )
         #: Retry mode only: fires when every node has completed (after
         #: any replays), or fails with :class:`ExecutionAbandoned`.
         #: Resilient drivers wait on this instead of :attr:`done`, whose
         #: constituent events are replaced across replays.
-        self.finished: Event = self.sim.event(name=f"finished:{self.name}")
+        self.finished: Event = self.sim.event(
+            name=f"finished:{self.name}" if debug else ""
+        )
         #: Per-result futures (logical buffers in the object store).
         self.result_futures: list[PathwaysFuture] = []
         self._executors: dict[int, NodeExecutor] = {}
         self._node_values: dict[int, tuple[np.ndarray, ...]] = {}
         self._node_done: dict[int, Event] = {}
+        #: Cached :attr:`done` barrier for the current attempt;
+        #: invalidated when replays swap ``_node_done`` events.
+        self._done_cache: Optional[Event] = None
         self._gates: dict[int, Event] = {}
         #: Completion time per node, for checkpoint-relative replay.
         self._completed_at: dict[int, float] = {}
@@ -138,14 +146,26 @@ class ProgramExecution:
             fut = PathwaysFuture(
                 self.sim,
                 handle if handle is not None else _placeholder_handle(node_id),
-                name=f"result:{self.name}[{node_id}.{out_index}]",
+                name=f"result:{self.name}[{node_id}.{out_index}]" if debug else "",
             )
             self.result_futures.append(fut)
 
     # -- public --------------------------------------------------------------
     @property
     def done(self) -> Event:
-        return self.sim.all_of(list(self._node_done.values()))
+        """Completion barrier over the current attempt's node events.
+
+        Cached per attempt: repeated access (drivers poll, the retry
+        loop re-yields it) must not rebuild an AllOf — and re-register a
+        callback per node — every time.  Replays invalidate the cache
+        when they swap ``_node_done`` events.
+        """
+        cached = self._done_cache
+        if cached is None:
+            cached = self._done_cache = self.sim.all_of(
+                list(self._node_done.values())
+            )
+        return cached
 
     def results(self):
         """Logical results, repacked into the user's return structure."""
@@ -244,9 +264,13 @@ class ProgramExecution:
         # paper §4.5); the controller does not wait for completions.
         yield self.sim.timeout(self.config.dcn_latency_us)
         self._wire_dataflow(nodes, seed_args=seed_args)
+        debug = self.sim.debug_names
         for node in nodes:
             self._dispatched.add(node.node_id)
-            self.sim.process(self._run_node(node), name=f"node:{node.label}")
+            self.sim.process(
+                self._run_node(node),
+                name=f"node:{node.label}" if debug else "",
+            )
         # The controller thread is released as soon as the subgraph
         # message is out; node processes run island-side.
         return
@@ -254,7 +278,9 @@ class ProgramExecution:
     def _run_node(self, node: LowLevelNode) -> Generator:
         ex = self._executors[node.node_id]
         try:
-            yield self.sim.process(ex.prep(), name=f"prep:{node.label}")
+            # Prep runs inline in this (already per-node) process; a
+            # dedicated wrapper process would only add dispatch overhead.
+            yield from ex.prep()
             self._attach_result_handles(node.node_id)
             scheduler = self.system.scheduler_for(node.group.island)
             req = scheduler.submit(
@@ -301,7 +327,7 @@ class ProgramExecution:
             yield self.sim.timeout(controller_us)
             yield self.sim.timeout(cfg.dcn_latency_us)  # controller -> host
             try:
-                yield self.sim.process(ex.prep(), name=f"prep:{node.label}")
+                yield from ex.prep()
                 self._attach_result_handles(node.node_id)
                 scheduler = self.system.scheduler_for(node.group.island)
                 req = scheduler.submit(
@@ -339,17 +365,28 @@ class ProgramExecution:
         transfers are rebuilt against the (possibly pre-triggered)
         completion events of preserved producers.
         """
+        debug = self.sim.debug_names
         for node in nodes:
             if node.incoming:
                 self._gates[node.node_id] = self.sim.event(
-                    name=f"gate:{self.name}:{node.label}"
+                    name=f"gate:{self.name}:{node.label}" if debug else ""
                 )
         for node in nodes:
             if not node.incoming:
                 continue
-            self.sim.process(
-                self._feed_node(node), name=f"xfer:{self.name}:{node.label}"
-            )
+            if all(
+                spec.route is TransferRoute.LOCAL or spec.nbytes == 0
+                for spec in node.incoming
+            ):
+                # Fast path: no data actually moves (same-group edges),
+                # so the gate opens directly off the producers' completion
+                # — no per-edge transfer process, no feeder process.
+                self._wire_local_gate(node)
+            else:
+                self.sim.process(
+                    self._feed_node(node),
+                    name=f"xfer:{self.name}:{node.label}" if debug else "",
+                )
         # Arg values seed the logical evaluation.
         if seed_args and self.compute_values:
             arg_nodes = self.low.source.arg_nodes
@@ -361,6 +398,28 @@ class ProgramExecution:
                 lambda ev, n=node: self._on_node_done(n, ev)
             )
 
+    def _wire_local_gate(self, node: LowLevelNode) -> None:
+        """Open ``node``'s gate when all (local, zero-byte) producers
+        settle — the no-data-movement analogue of :meth:`_feed_node`.
+
+        Failure semantics match the feeder: a lost producer *fails* the
+        gate so the gated kernel at the head of its device queue is
+        released with the failure instead of wedging the queue.
+        """
+        gate = self._gates[node.node_id]
+        producers = [self._node_done[spec.src_node] for spec in node.incoming]
+        barrier = producers[0] if len(producers) == 1 else self.sim.all_of(producers)
+
+        def _open(ev: Event, gate: Event = gate) -> None:
+            if gate.triggered:
+                return
+            if ev._exc is not None:
+                gate.fail(ev._exc)
+            else:
+                gate.succeed(None)
+
+        barrier.add_callback(_open)
+
     def _feed_node(self, node: LowLevelNode) -> Generator:
         """Wait for producers, move data, then open the node's gate.
 
@@ -370,13 +429,14 @@ class ProgramExecution:
         whole (non-preemptible) queue behind it forever.
         """
         gate = self._gates[node.node_id]
+        debug = self.sim.debug_names
         transfer_events = []
         for spec in node.incoming:
             producer_done = self._node_done[spec.src_node]
             transfer_events.append(
                 self.sim.process(
                     self._one_transfer(spec, producer_done, node),
-                    name=f"move:{spec.src_node}->{spec.dst_node}",
+                    name=f"move:{spec.src_node}->{spec.dst_node}" if debug else "",
                 )
             )
         try:
@@ -418,9 +478,9 @@ class ProgramExecution:
         self.system.computations_executed += 1
         if self.compute_values and node.computation.fn is not None:
             args = []
-            graph = self.low.source.graph
             ok = True
-            for edge in sorted(graph.in_edges(node.node_id), key=lambda e: e.dst_input):
+            # In-edges pre-sorted by dst_input at lowering time.
+            for edge in self.low.sorted_in_edges[node.node_id]:
                 vals = self._node_values.get(edge.src)
                 if vals is None:
                     ok = False
@@ -429,26 +489,32 @@ class ProgramExecution:
             if ok:
                 self._node_values[node.node_id] = node.computation.execute(*args)
         # Resolve any result futures fed by this node.
-        for fut, (src, out_idx) in zip(self.result_futures, self.low.source.results):
-            if src == node.node_id and not fut.is_ready:
-                vals = self._node_values.get(node.node_id)
-                fut.resolve(vals[out_idx] if vals is not None else None)
+        if node.node_id in self.low.result_feeders:
+            for fut, (src, out_idx) in zip(
+                self.result_futures, self.low.source.results
+            ):
+                if src == node.node_id and not fut.is_ready:
+                    vals = self._node_values.get(node.node_id)
+                    fut.resolve(vals[out_idx] if vals is not None else None)
         # Intermediate outputs: drop the executor's reference once every
-        # consumer has finished.
-        consumers = [
-            n for n in self.low.nodes if node.node_id in n.predecessors
-        ]
+        # consumer has finished (successor map precomputed at lowering).
+        consumers = self.low.consumers[node.node_id]
         handle = self._executors[node.node_id].output_handle
         if handle is None:
             return
-        feeds_result = any(src == node.node_id for src, _ in self.low.source.results)
+        feeds_result = node.node_id in self.low.result_feeders
         if not consumers and not feeds_result:
             if not handle.freed:
                 self.system.object_store.release(handle)
         elif consumers:
-            remaining = self.sim.all_of(
-                [self._node_done[c.node_id] for c in consumers]
-            )
+            # Single consumer (chains): watch its completion directly —
+            # no barrier event needed.
+            if len(consumers) == 1:
+                remaining: Event = self._node_done[consumers[0].node_id]
+            else:
+                remaining = self.sim.all_of(
+                    [self._node_done[c.node_id] for c in consumers]
+                )
             remaining.add_callback(
                 lambda ev, h=handle, fr=feeds_result: (
                     None if fr or h.freed else self.system.object_store.release(h)
@@ -526,6 +592,9 @@ class ProgramExecution:
             self._node_done[node.node_id] = ex.all_kernels_done
             self._completed_at.pop(node.node_id, None)
             self._node_values.pop(node.node_id, None)
+        # The cached `done` barrier watches the lost attempt's events;
+        # the next access must rebuild it over the fresh ones.
+        self._done_cache = None
         yield from self._dispatch_once(replay, first=False)
 
     def _attach_result_handles(self, node_id: int) -> None:

@@ -46,8 +46,13 @@ class NodeExecutor:
         self.owner = owner
         self.program = program or owner
         self.output_handle: Optional[ObjectHandle] = None
-        self.prep_done: Event = sim.event(name=f"prep:{node.label}")
-        self.all_kernels_done: Event = sim.event(name=f"exec:{node.label}")
+        debug = sim.debug_names
+        self.prep_done: Event = sim.event(
+            name=f"prep:{node.label}" if debug else ""
+        )
+        self.all_kernels_done: Event = sim.event(
+            name=f"exec:{node.label}" if debug else ""
+        )
 
     # -- step 1: host-side preparation ----------------------------------------
     def prep(self) -> Generator:
@@ -64,10 +69,7 @@ class NodeExecutor:
         fn = self.node.computation
         per_host_us = self.config.executor_prep_us + self.config.host_launch_work_us
 
-        host_events = [
-            host.prep_process(per_host_us, name=f"prep:{self.node.label}@{host.name}")
-            for host in group.hosts
-        ]
+        host_events = [host.prep_request(per_host_us) for host in group.hosts]
         # Output buffers: per-shard bytes reserved on every (simulated)
         # device of the group — this is where HBM back-pressure bites.
         nbytes_shard = fn.output_nbytes_per_shard()
@@ -85,7 +87,9 @@ class NodeExecutor:
             self.store.discard(handle)
             self.output_handle = None
             raise
-        self.prep_done.succeed(None)
+        # Nothing waits on prep_done (replay code only reads .triggered);
+        # trigger it in place rather than paying a loop entry per node.
+        self.prep_done.succeed_inline(None)
 
     # -- step 2: enqueue (called under the scheduler's grant) ----------------
     def enqueue(self, gate: Optional[Event] = None) -> list[Kernel]:
@@ -112,37 +116,49 @@ class NodeExecutor:
                 self.sim,
                 participants=len(group.devices),
                 duration_us=duration,
-                name=f"gang:{self.node.label}",
+                name=f"gang:{self.node.label}" if self.sim.debug_names else "",
+                # Fold the gang's identical compute phase — and the
+                # per-device launch latency — into the rendezvous
+                # completion: one shared timeout and one wait per device
+                # instead of three.
+                compute_us=compute_us,
+                launch_us=self.config.kernel_launch_us,
             )
-        kernels = []
+        # One Kernel object — and one completion event — for the whole
+        # gang: every field (duration, collective, gate, tag) is
+        # identical across the gang's devices, and they all finish at
+        # the same instant (shared collective compute phase), so
+        # per-device kernel/event copies are pure allocation overhead.
+        # The first device to complete triggers `done`; a failing device
+        # fails it, which is the loss signal retry_on_failure needs.
+        kernel = Kernel(
+            self.sim,
+            duration_us=compute_us,
+            collective=collective,
+            tag=self.node.label,
+            program=self.program,
+            gate=gate,
+        )
+        kernel.done.add_callback(self._on_kernel_done)
         for dev in group.devices:
-            kernel = Kernel(
-                self.sim,
-                duration_us=compute_us,
-                collective=collective,
-                tag=self.node.label,
-                program=self.program,
-                gate=gate,
-            )
             dev.enqueue(kernel)
-            kernels.append(kernel)
-        self.sim.all_of([k.done for k in kernels]).add_callback(self._on_kernels_settled)
-        return kernels
+        return [kernel]
 
-    def _on_kernels_settled(self, ev: Event) -> None:
-        """Propagate gang completion *or* loss to ``all_kernels_done``.
+    def _on_kernel_done(self, ev: Event) -> None:
+        """Forward the gang kernel's completion to ``all_kernels_done``.
 
-        A device failure fails individual kernel ``done`` events with
+        A device failure fails the kernel's ``done`` event with
         :class:`~repro.hw.device.DeviceFailure`; forwarding the failure
         (instead of unconditionally succeeding) is what lets the
         dispatching program observe the loss and replay the node.
         """
-        if self.all_kernels_done.triggered:
+        akd = self.all_kernels_done
+        if akd.triggered:
             return
         if ev.ok:
-            self.all_kernels_done.succeed(None)
+            akd.succeed(None)
         else:
-            self.all_kernels_done.fail(ev._exc)
+            akd.fail(ev._exc)
 
     # -- PCIe cost of the enqueues (charged after the grant is released) -----
     def pcie_cost_us(self) -> float:

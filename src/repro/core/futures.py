@@ -26,8 +26,12 @@ class PathwaysFuture:
     def __init__(self, sim: Simulator, handle: "ObjectHandle", name: str = ""):
         self.sim = sim
         self.handle = handle
-        self.name = name or f"future:{handle.object_id}"
-        self._ready: Event = sim.event(name=self.name)
+        self._name = name
+        self._ready: Event = sim.event(name=name)
+
+    @property
+    def name(self) -> str:
+        return self._name or f"future:{self.handle.object_id}"
 
     @property
     def ready(self) -> Event:

@@ -68,19 +68,52 @@ class LowLevelNode:
 
 @dataclass
 class LowLevelProgram:
-    """The executable form: ordered nodes + transfer plan."""
+    """The executable form: ordered nodes + transfer plan.
+
+    Construction (i.e. lowering) precomputes everything the dispatch
+    hot path needs per node completion — the id->node index, the
+    consumer (successor) adjacency, the input edges sorted by
+    destination slot, and the set of result-feeding nodes — so
+    completion bookkeeping is O(degree) instead of rescanning
+    ``nodes``/``edges`` (O(n²) per program) on every node.
+    """
 
     name: str
     source: PathwaysProgram
     nodes: list[LowLevelNode]            # topological order
     islands: list[int]                   # island ids involved
     total_hosts_logical: int
+    #: node_id -> LowLevelNode (O(1) lookup for transfers/replays).
+    by_id: dict[int, LowLevelNode] = field(init=False, default_factory=dict)
+    #: node_id -> consumer nodes (successor adjacency).
+    consumers: dict[int, list[LowLevelNode]] = field(init=False, default_factory=dict)
+    #: node_id -> source-graph in-edges sorted by ``dst_input`` (hoisted
+    #: out of the per-completion value computation).
+    sorted_in_edges: dict[int, list] = field(init=False, default_factory=dict)
+    #: Node ids that feed at least one program result.
+    result_feeders: set[int] = field(init=False, default_factory=set)
+
+    def __post_init__(self) -> None:
+        by_id = self.by_id
+        consumers = self.consumers
+        for n in self.nodes:
+            by_id[n.node_id] = n
+            consumers[n.node_id] = []
+        for n in self.nodes:
+            for p in n.predecessors:
+                consumers[p].append(n)
+        graph = self.source.graph
+        for n in self.nodes:
+            self.sorted_in_edges[n.node_id] = sorted(
+                graph.in_edges(n.node_id), key=lambda e: e.dst_input
+            )
+        self.result_feeders = {src for src, _ in self.source.results}
 
     def node(self, node_id: int) -> LowLevelNode:
-        for n in self.nodes:
-            if n.node_id == node_id:
-                return n
-        raise KeyError(f"no low-level node {node_id}")
+        try:
+            return self.by_id[node_id]
+        except KeyError:
+            raise KeyError(f"no low-level node {node_id}") from None
 
 
 def _edge_bytes(src_fn: CompiledFunction, out_index: int) -> int:

@@ -33,6 +33,7 @@ class ResourceManager:
         config: SystemConfig,
         aggregate_threshold: int = 64,
         max_simulated_per_group: int = 16,
+        disjoint_aggregate_reps: bool = False,
     ):
         self.sim = sim
         self.cluster = cluster
@@ -41,6 +42,14 @@ class ResourceManager:
         #: devices (see :mod:`repro.core.placement`).
         self.aggregate_threshold = aggregate_threshold
         self.max_simulated_per_group = max_simulated_per_group
+        #: Co-located aggregate slices normally all sample the same
+        #: island-spanning representatives (fine for one big slice, the
+        #: historical behaviour the calibrated figure sweeps assume).
+        #: With this flag each aggregate slice reserves its own logical
+        #: block of the healthy list and picks representatives inside
+        #: it, so multi-tenant paper-scale churn runs simulate disjoint
+        #: tenants on disjoint cores instead of falsely contending.
+        self.disjoint_aggregate_reps = disjoint_aggregate_reps
         self.compiler = Compiler()
         self._islands: dict[int, Island] = {
             isl.island_id: isl for isl in cluster.islands
@@ -186,8 +195,19 @@ class ResourceManager:
             per_host = len(island.hosts[0].devices)
             n_hosts_logical = max(1, n // per_host)
             reps = min(self.max_simulated_per_group, len(healthy), n)
-            step = max(1, len(healthy) // reps)
-            devices = [healthy[(i * step) % len(healthy)] for i in range(reps)]
+            if self.disjoint_aggregate_reps:
+                # Reserve this slice's logical block [cursor, cursor+n)
+                # of the healthy list and spread representatives inside
+                # it — co-located tenants get disjoint simulated cores.
+                base = self._cursor.get(island.island_id, 0) % len(healthy)
+                span = min(n, len(healthy))
+                step = max(1, span // reps)
+                devices = [
+                    healthy[(base + i * step) % len(healthy)] for i in range(reps)
+                ]
+            else:
+                step = max(1, len(healthy) // reps)
+                devices = [healthy[(i * step) % len(healthy)] for i in range(reps)]
             # De-duplicate while preserving order.
             seen: set[int] = set()
             devices = [d for d in devices if d.device_id not in seen and not seen.add(d.device_id)]

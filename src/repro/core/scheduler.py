@@ -59,6 +59,11 @@ class SchedulingPolicy(Protocol):
 class FifoPolicy:
     """Strict arrival order."""
 
+    #: The grant loop's fast path: since the pending list is kept in
+    #: arrival (= seq) order, the first eligible request IS the FIFO
+    #: winner — no eligible-list materialization needed.
+    picks_first_eligible = True
+
     def pick(self, pending: list[GangRequest]) -> GangRequest:
         return min(pending, key=lambda r: r.seq)
 
@@ -164,21 +169,22 @@ class IslandScheduler:
         ``request.grant``, enqueues its kernels, triggers
         ``request.enqueued_ack`` so the next grant can proceed, and calls
         :meth:`complete` when the computation finishes on-device."""
+        debug = self.sim.debug_names
         req = GangRequest(
             client=client,
             program=program,
             node_label=node_label,
-            grant=self.sim.event(name=f"grant:{node_label}"),
-            enqueued_ack=self.sim.event(name=f"ack:{node_label}"),
+            grant=self.sim.event(name=f"grant:{node_label}" if debug else ""),
+            enqueued_ack=self.sim.event(name=f"ack:{node_label}" if debug else ""),
             cost_us=cost_us,
             device_ids=tuple(device_ids),
         )
-        self._incoming.put(("req", req))
+        self._incoming.push(("req", req))
         return req
 
     def complete(self, req: GangRequest) -> None:
         """Signal that a granted computation finished executing."""
-        self._incoming.put(("done", req))
+        self._incoming.push(("done", req))
 
     # -- fault tolerance ----------------------------------------------------
     def evict_device(self, device_id: int) -> None:
@@ -192,7 +198,7 @@ class IslandScheduler:
         ``retry_on_failure`` path after the resource manager remaps its
         virtual slice.
         """
-        self._incoming.put(("evict", device_id))
+        self._incoming.push(("evict", device_id))
 
     def readmit_device(self, device_id: int) -> None:
         """A previously-evicted device restarted: drop any stale
@@ -202,15 +208,15 @@ class IslandScheduler:
         eviction can race work granted *after* the restart and corrupt
         the fresh counters (over-admitting past the queue depth).
         """
-        self._incoming.put(("readmit", device_id))
+        self._incoming.push(("readmit", device_id))
 
     def pause(self) -> None:
         """Island preemption: stop granting; pending requests are kept."""
-        self._incoming.put(("pause", None))
+        self._incoming.push(("pause", None))
 
     def resume(self) -> None:
         """End of preemption: resume granting in original seq order."""
-        self._incoming.put(("resume", None))
+        self._incoming.push(("resume", None))
 
     # -- elastic drain/handback --------------------------------------------
     def drain(self) -> Event:
@@ -228,12 +234,12 @@ class IslandScheduler:
         gangs).
         """
         drained = self.sim.event(name=f"drained[{self.island.island_id}]")
-        self._incoming.put(("drain", drained))
+        self._incoming.push(("drain", drained))
         return drained
 
     def undrain(self) -> None:
         """Resume granting after a drain (island handed back / kept)."""
-        self._incoming.put(("undrain", None))
+        self._incoming.push(("undrain", None))
 
     @property
     def paused(self) -> bool:
@@ -251,7 +257,12 @@ class IslandScheduler:
     # -- internals -----------------------------------------------------
     def _eligible(self, req: GangRequest) -> bool:
         depth = self.config.scheduler_queue_depth
-        return all(self._outstanding.get(d, 0) < depth for d in req.device_ids)
+        outstanding = self._outstanding
+        get = outstanding.get
+        for d in req.device_ids:
+            if get(d, 0) >= depth:
+                return False
+        return True
 
     def _release(self, device_ids: tuple[int, ...]) -> None:
         for d in device_ids:
@@ -350,10 +361,21 @@ class IslandScheduler:
             # the drain still grant in order; only new submissions are
             # rejected (in ``_apply``).
             while not self._paused:
-                eligible = [r for r in self._pending if self._eligible(r)]
-                if not eligible:
-                    break
-                choice = self.policy.pick(eligible)
+                if getattr(self.policy, "picks_first_eligible", False):
+                    # FIFO fast path: _pending is in arrival (seq) order,
+                    # so the first eligible entry is the policy's pick.
+                    choice = None
+                    for r in self._pending:
+                        if self._eligible(r):
+                            choice = r
+                            break
+                    if choice is None:
+                        break
+                else:
+                    eligible = [r for r in self._pending if self._eligible(r)]
+                    if not eligible:
+                        break
+                    choice = self.policy.pick(eligible)
                 self._pending.remove(choice)
                 if self.config.scheduler_decision_us > 0:
                     yield self.sim.timeout(self.config.scheduler_decision_us)

@@ -44,13 +44,18 @@ class PathwaysSystem:
         policy: Optional[SchedulingPolicy] = None,
         trace: Optional[TraceRecorder] = None,
         aggregate_threshold: int = 64,
+        disjoint_aggregate_reps: bool = False,
     ):
         self.sim = sim
         self.cluster = cluster
         self.config = config
         self.trace = trace
         self.resource_manager = ResourceManager(
-            sim, cluster, config, aggregate_threshold=aggregate_threshold
+            sim,
+            cluster,
+            config,
+            aggregate_threshold=aggregate_threshold,
+            disjoint_aggregate_reps=disjoint_aggregate_reps,
         )
         self.object_store = ShardedObjectStore(sim)
         #: Policy islands are created with (None -> per-island FIFO);
@@ -83,9 +88,17 @@ class PathwaysSystem:
         policy: Optional[SchedulingPolicy] = None,
         with_trace: bool = False,
         aggregate_threshold: int = 64,
+        disjoint_aggregate_reps: bool = False,
+        debug_names: bool = False,
+        log_schedule: bool = False,
     ) -> "PathwaysSystem":
-        """Create a fresh simulator + cluster + system for ``spec``."""
-        sim = Simulator()
+        """Create a fresh simulator + cluster + system for ``spec``.
+
+        ``debug_names`` / ``log_schedule`` are forwarded to the
+        :class:`~repro.sim.Simulator` (rich event names for debugging,
+        and the golden-determinism schedule log, respectively).
+        """
+        sim = Simulator(debug_names=debug_names, log_schedule=log_schedule)
         trace = TraceRecorder() if with_trace else None
         cluster = make_cluster(sim, spec, config=config, trace=trace)
         return PathwaysSystem(
@@ -95,6 +108,7 @@ class PathwaysSystem:
             policy=policy,
             trace=trace,
             aggregate_threshold=aggregate_threshold,
+            disjoint_aggregate_reps=disjoint_aggregate_reps,
         )
 
     # -- components -------------------------------------------------------

@@ -19,10 +19,10 @@ The properties that drive the paper's design are modeled exactly:
 from __future__ import annotations
 
 from collections import deque
-from typing import Deque, Generator, Optional, TYPE_CHECKING
+from typing import Callable, Deque, Optional, TYPE_CHECKING
 
 from repro.config import SystemConfig
-from repro.sim import Event, Interrupt, Simulator, Store
+from repro.sim import Event, Simulator
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard for typing only
     from repro.hw.host import Host
@@ -127,16 +127,22 @@ class HbmAllocator:
                 f"{self.name}: request of {nbytes} bytes exceeds HBM capacity "
                 f"{self.capacity}"
             )
-        ev = self.sim.event(name=f"hbm_alloc:{self.name}")
+        debug = self.sim.debug_names
         if self.device is not None and self.device.failed:
             # Fail fast, mirroring enqueue-to-failed-device semantics: a
             # grant on a dead core would otherwise queue forever.
+            ev = self.sim.event(name=f"hbm_alloc:{self.name}" if debug else "")
             ev.fail(DeviceFailure(self.device.device_id, "alloc on failed device"))
             return ev
         if not self._waiters and self.used + nbytes <= self.capacity:
-            self._grant(ev, nbytes)
-        else:
-            self._waiters.append((ev, nbytes))
+            # Uncontended reservation: grant instantly with the shared
+            # completed event — no allocation, no loop entry.
+            self.used += nbytes
+            if self.used > self.peak_used:
+                self.peak_used = self.used
+            return self.sim.granted()
+        ev = self.sim.event(name=f"hbm_alloc:{self.name}" if debug else "")
+        self._waiters.append((ev, nbytes))
         return ev
 
     def _grant(self, ev: Event, nbytes: int) -> None:
@@ -200,6 +206,14 @@ class CollectiveRendezvous:
     kernel reaches the head of its queue.  Once every participant has
     joined, all are released ``duration_us`` later (the collective itself
     runs on the dedicated interconnect, devices stay occupied).
+
+    ``compute_us`` folds the gang's (identical) post-collective compute
+    phase into the same completion event: everyone is released at the
+    same instant and runs the same kernel duration, so one shared
+    timeout replaces a per-device timeout — the dominant event count of
+    a detailed gang.  A device that fails *after* the wire phase aborts
+    only its own kernel (its drain loop is interrupted directly); the
+    surviving peers' completion still fires.
     """
 
     def __init__(
@@ -208,6 +222,8 @@ class CollectiveRendezvous:
         participants: int,
         duration_us: float,
         name: str = "",
+        compute_us: float = 0.0,
+        launch_us: float = 0.0,
     ):
         if participants < 1:
             raise ValueError("collective needs at least one participant")
@@ -215,8 +231,22 @@ class CollectiveRendezvous:
         self.name = name or "collective"
         self.expected = participants
         self.duration_us = duration_us
+        self.compute_us = compute_us
+        #: Per-device kernel-launch latency folded into the completion
+        #: (joins happen at queue-head time, uniformly ``launch_us``
+        #: early, so the completion timeout covers launch + wire +
+        #: compute — one wait instead of three per device).
+        self.launch_us = launch_us
         self._joined = 0
-        self._done = sim.event(name=f"collective_done:{self.name}")
+        #: Set once the wire phase has completed: a later abort must not
+        #: release the surviving peers' compute phase with a failure.
+        self._wire_done = False
+        self._done = sim.event(
+            name=f"collective_done:{self.name}" if sim.debug_names else ""
+        )
+        #: Post-release compute phase shared by the gang when
+        #: ``compute_us`` is not used (see :meth:`shared_delay`).
+        self._shared_delay: Optional[Event] = None
 
     @property
     def joined(self) -> int:
@@ -236,23 +266,52 @@ class CollectiveRendezvous:
                 f"{self.name}: {self._joined} joins for {self.expected} participants"
             )
         if self._joined == self.expected:
-            # Everyone arrived; complete after the wire time.  A device
+            # Everyone arrived; complete after the (folded launch +)
+            # wire time, plus the folded compute phase if any.  A device
             # can still fail *during* the wire time, in which case the
             # abort wins and this completion is dropped.
-            def _finish(ev: Event) -> None:
-                if not self._done.triggered:
-                    self._done.succeed(None)
-
-            self.sim.timeout(self.duration_us).add_callback(_finish)
+            self.sim.timeout(self.launch_us + self.duration_us).add_callback(
+                self._finish_wire
+            )
         return self._done
+
+    def _finish_wire(self, ev: Event) -> None:
+        if self._done.triggered:
+            return  # aborted during the wire phase
+        self._wire_done = True
+        if self.compute_us > 0:
+            self.sim.timeout(self.compute_us).add_callback(self._finish_compute)
+        else:
+            self._done.succeed(None)
+
+    def _finish_compute(self, ev: Event) -> None:
+        if not self._done.triggered:
+            self._done.succeed(None)
+
+    def shared_delay(self, duration_us: float) -> Event:
+        """One timeout shared by the whole gang's compute phase.
+
+        The explicit form of ``compute_us`` for callers that build
+        kernels directly: must be called at release time (all callers
+        see the same ``now``).
+        """
+        delay = self._shared_delay
+        if delay is None:
+            delay = self._shared_delay = self.sim.timeout(duration_us)
+        return delay
 
     def abort(self, cause: BaseException) -> None:
         """Release every (current and future) participant with ``cause``.
 
         Called when a gang member's device fails: without it, the
         surviving devices would block at the rendezvous forever — the
-        exact wedge fault recovery must prevent.
+        exact wedge fault recovery must prevent.  After the wire phase
+        the rendezvous is past aborting: the failing device's own kernel
+        is aborted by its drain-loop interrupt, and surviving peers
+        complete their compute phase normally.
         """
+        if self._wire_done:
+            return
         if not self._done.triggered:
             self._done.fail(cause)
 
@@ -285,7 +344,9 @@ class Kernel:
             raise ValueError(f"negative kernel duration: {duration_us}")
         self.duration_us = duration_us
         self.collective = collective
-        self.done: Event = sim.event(name=f"kernel_done:{tag}")
+        self.done: Event = sim.event(
+            name=f"kernel_done:{tag}" if sim.debug_names else ""
+        )
         self.tag = tag
         self.program = program
         self.gate = gate
@@ -301,10 +362,18 @@ class Kernel:
 class Device:
     """A simulated TPU core.
 
-    Work is submitted with :meth:`enqueue`; an internal process drains the
-    queue strictly in order, one kernel at a time.  The queue is
-    unbounded (matching the deep hardware FIFOs that make asynchronous
-    dispatch possible, Appendix A.2).
+    Work is submitted with :meth:`enqueue`; the device drains its queue
+    strictly in order, one kernel at a time.  The queue is unbounded
+    (matching the deep hardware FIFOs that make asynchronous dispatch
+    possible, Appendix A.2).
+
+    The drain loop is an explicit event-chain state machine rather than
+    a generator process: devices are the single hottest activity of a
+    paper-scale sweep (one wait per gate / launch / collective phase per
+    kernel on every core), and direct callbacks skip the whole
+    generator-resume trampoline.  The phases mirror the old process
+    loop: pop (or idle-wait) → gate → launch → collective/compute →
+    complete → next.
     """
 
     def __init__(
@@ -324,16 +393,30 @@ class Device:
         self.coords = coords
         self.host = host
         self.trace = trace
+        debug = sim.debug_names
         self.hbm = HbmAllocator(
-            sim, config.hbm_bytes, name=f"hbm[d{device_id}]", device=self
+            sim,
+            config.hbm_bytes,
+            name=f"hbm[d{device_id}]" if debug else "hbm",
+            device=self,
         )
-        self._queue: Store = Store(sim, name=f"devq[d{device_id}]")
+        #: The hardware FIFO.  A plain deque + idle flag: a busy device
+        #: pops its next kernel synchronously, and an idle one is
+        #: restarted inline by :meth:`enqueue` — queueing costs zero
+        #: events per kernel.
+        self._queue: Deque[Kernel] = deque()
+        self._idle = False
+        #: In-flight kernel and the event its next phase waits on.
+        self._current: Optional[Kernel] = None
+        self._waiting_on: Optional[Event] = None
+        self._phase: Optional[Callable[[Optional[Event]], None]] = None
+        self._start_us = 0.0
         self.busy_us = 0.0          # time spent executing kernels
         self.kernels_run = 0
         self.failed = False
         self.fail_count = 0
         self.kernels_aborted = 0
-        self._proc = sim.process(self._run(), name=f"device[{device_id}]", daemon=True)
+        self._drain_next()
 
     @property
     def name(self) -> str:
@@ -346,7 +429,10 @@ class Device:
             # (its gang peers are released too), never silently queued.
             self._abort_kernel(kernel, DeviceFailure(self.device_id, "enqueue to failed device"))
             return kernel.done
-        self._queue.put(kernel)
+        self._queue.append(kernel)
+        if self._idle:
+            self._idle = False
+            self._drain_next()
         return kernel.done
 
     # -- failure & recovery -------------------------------------------------
@@ -363,7 +449,17 @@ class Device:
         # re-run instead of stalling forever on a grant that can never
         # arrive.
         self.hbm.fail_waiters(cause)
-        self._proc.interrupt(cause)
+        # Detach from whatever phase event we were waiting on (its
+        # late firing is ignored via the _waiting_on guard), then abort
+        # the in-flight kernel and everything queued behind it.
+        self._waiting_on = None
+        self._phase = None
+        self._idle = False
+        current, self._current = self._current, None
+        self._abort_kernel(current, cause)
+        queue = self._queue
+        while queue:
+            self._abort_kernel(queue.popleft(), cause)
 
     def restart(self) -> None:
         """Bring a failed device back with an empty queue.
@@ -375,10 +471,11 @@ class Device:
         if not self.failed:
             return
         self.failed = False
-        self._queue = Store(self.sim, name=f"devq[d{self.device_id}]")
-        self._proc = self.sim.process(
-            self._run(), name=f"device[{self.device_id}]", daemon=True
-        )
+        self._queue = deque()
+        self._current = None
+        self._waiting_on = None
+        self._phase = None
+        self._drain_next()
 
     def _abort_kernel(self, kernel: Optional[Kernel], cause: BaseException) -> None:
         if kernel is None:
@@ -386,63 +483,137 @@ class Device:
         self.kernels_aborted += 1
         kernel.abort(cause)
 
-    def _run(self) -> Generator:
-        launch = self.config.kernel_launch_us
-        while True:
-            kernel: Optional[Kernel] = None
-            try:
-                kernel = yield self._queue.get()
-                if kernel.gate is not None:
-                    # Head-of-line blocking: nothing behind this kernel can
-                    # run until its inputs arrive.
-                    yield kernel.gate
-                if launch > 0:
-                    yield self.sim.timeout(launch)
-                start = self.sim.now
-                if kernel.collective is not None:
-                    yield kernel.collective.join()
-                if kernel.duration_us > 0:
-                    yield self.sim.timeout(kernel.duration_us)
-                end = self.sim.now
-                self.busy_us += end - start
-                self.kernels_run += 1
-                if self.trace is not None:
-                    self.trace.record(
-                        device=self.device_id,
-                        start=start,
-                        end=end,
-                        tag=kernel.tag,
-                        program=kernel.program,
-                    )
-                kernel.done.succeed(None)
-            except Interrupt as intr:
-                # *This* device failed: abort the in-flight kernel and
-                # everything queued behind it, then stop (restart spawns
-                # a fresh loop).
-                cause = (
-                    intr.cause
-                    if isinstance(intr.cause, BaseException)
-                    else DeviceFailure(self.device_id, str(intr.cause or "interrupted"))
-                )
-                self._abort_kernel(kernel, cause)
-                while True:
-                    ok, queued = self._queue.try_get()
-                    if not ok:
-                        break
-                    self._abort_kernel(queued, cause)
+    # -- the drain state machine -------------------------------------------
+    def _await(self, ev: Event, phase: Callable[[Optional[Event]], None]) -> bool:
+        """Mirror of ``yield ev``: defer ``phase`` until ``ev`` is
+        processed by the loop.  Returns False when ``ev`` has already
+        been processed — the caller continues inline, exactly like a
+        generator resuming off an already-processed event."""
+        callbacks = ev.callbacks
+        if callbacks is None:
+            return False
+        self._waiting_on = ev
+        self._phase = phase
+        callbacks.append(self._on_phase_event)
+        return True
+
+    def _on_phase_event(self, ev: Event) -> None:
+        if self._waiting_on is not ev:
+            return  # stale registration (device failed/restarted since)
+        self._waiting_on = None
+        phase, self._phase = self._phase, None
+        phase(ev)
+
+    def _drain_next(self) -> None:
+        """Pop and start the next kernel, or go idle until one arrives
+        (enqueue restarts an idle device inline — no wakeup event)."""
+        if self.failed:
+            return
+        if not self._queue:
+            self._idle = True
+            return
+        kernel = self._queue.popleft()
+        self._current = kernel
+        gate = kernel.gate
+        if gate is not None:
+            # Head-of-line blocking: nothing behind this kernel can run
+            # until its inputs arrive.
+            if self._await(gate, self._after_gate):
                 return
-            except Exception as exc:  # noqa: BLE001 - peer-loss filter below
-                # A *peer* failed: this device was released from a gang
-                # rendezvous (or a gate fed by a dead producer).  The
-                # fault often arrives wrapped (a failed transfer process
-                # delivers ProcessFailed(DeviceFailure)); unwrap before
-                # deciding.  Drop the poisoned kernel and keep draining —
-                # the device itself is healthy.  Anything that is not a
-                # hardware fault is a programming error: re-raise.
-                fault = unwrap_fault(exc)
-                if fault is None:
-                    raise
-                self._abort_kernel(kernel, fault)
+            self._after_gate(gate)
+        else:
+            self._after_gate(None)
+
+    def _after_gate(self, gate: Optional[Event]) -> None:
+        if gate is not None and gate._exc is not None:
+            self._peer_fault(gate._exc)
+            return
+        collective = self._current.collective
+        if collective is not None and collective.launch_us > 0:
+            # Launch folded into the rendezvous completion: join now
+            # (uniformly launch_us early for every member, so the last
+            # joiner still determines the same completion time) and
+            # account the busy window from the post-launch instant.
+            self._start_us = self.sim.now + collective.launch_us
+            join = collective.join()
+            if self._await(join, self._after_collective):
+                return
+            self._after_collective(join)
+            return
+        launch = self.config.kernel_launch_us
+        if launch > 0:
+            # Gang-synchronized devices hit their launch phase at the
+            # same instant: coalesce into one shared timeout.
+            if self._await(self.sim.shared_timeout(launch), self._after_launch):
+                return
+        self._after_launch(None)
+
+    def _after_launch(self, ev: Optional[Event]) -> None:
+        kernel = self._current
+        self._start_us = self.sim.now
+        collective = kernel.collective
+        if collective is not None:
+            # join() covers the compute phase too when the rendezvous
+            # was built with compute_us (one wait, one shared timeout
+            # for the whole gang).
+            join = collective.join()
+            if self._await(join, self._after_collective):
+                return
+            self._after_collective(join)
+        elif kernel.duration_us > 0:
+            if self._await(self.sim.timeout(kernel.duration_us), self._complete):
+                return
+            self._complete(None)  # pragma: no cover - fresh timeout is pending
+        else:
+            self._complete(None)
+
+    def _after_collective(self, ev: Event) -> None:
+        if ev._exc is not None:
+            self._peer_fault(ev._exc)
+            return
+        kernel = self._current
+        collective = kernel.collective
+        if kernel.duration_us > 0 and collective.compute_us <= 0:
+            if self._await(
+                collective.shared_delay(kernel.duration_us), self._complete
+            ):
+                return
+        self._complete(None)
+
+    def _complete(self, ev: Optional[Event]) -> None:
+        kernel, self._current = self._current, None
+        end = self.sim.now
+        self.busy_us += end - self._start_us
+        self.kernels_run += 1
+        if self.trace is not None:
+            self.trace.record(
+                device=self.device_id,
+                start=self._start_us,
+                end=end,
+                tag=kernel.tag,
+                program=kernel.program,
+            )
+        done = kernel.done
+        if not done.triggered:
+            # Gang-shared kernels complete once, inline (the callbacks
+            # run at the same instant either way).
+            done.succeed_inline(None)
+        self._drain_next()
+
+    def _peer_fault(self, exc: BaseException) -> None:
+        """A *peer* failed: this device was released from a gang
+        rendezvous (or a gate fed by a dead producer).  The fault often
+        arrives wrapped (a failed transfer process delivers
+        ProcessFailed(DeviceFailure)); unwrap before deciding.  Drop the
+        poisoned kernel and keep draining — the device itself is
+        healthy.  Anything that is not a hardware fault is a
+        programming error: re-raise."""
+        fault = unwrap_fault(exc)
+        if fault is None:
+            raise exc
+        current, self._current = self._current, None
+        self._abort_kernel(current, fault)
+        self._drain_next()
 
     def utilization(self) -> float:
         """Fraction of wall-clock time spent executing kernels so far."""

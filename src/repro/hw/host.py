@@ -20,7 +20,7 @@ from __future__ import annotations
 from typing import Generator
 
 from repro.config import SystemConfig
-from repro.sim import Process, Resource, Simulator
+from repro.sim import Event, Process, Resource, Simulator
 
 from repro.hw.device import Device, FaultError, Kernel
 
@@ -56,14 +56,22 @@ class Host:
         self.host_id = host_id
         self.island_id = island_id
         self.devices: list[Device] = []
+        debug = sim.debug_names
         #: Serial CPU doing dispatch/prep work.
-        self.cpu = Resource(sim, capacity=1, name=f"cpu[h{host_id}]")
+        self.cpu = Resource(
+            sim, capacity=1, name=f"cpu[h{host_id}]" if debug else "cpu"
+        )
         #: NIC egress serialization for DCN sends.
-        self.nic = Resource(sim, capacity=1, name=f"nic[h{host_id}]")
+        self.nic = Resource(
+            sim, capacity=1, name=f"nic[h{host_id}]" if debug else "nic"
+        )
         #: Set while the host is crashed; its devices are down with it.
         self.failed = False
         #: In-flight prep work processes, interrupted on crash.
         self._prep_procs: set[Process] = set()
+        #: In-flight event-chain preps (:meth:`prep_request`), aborted
+        #: on crash.
+        self._live_preps: set[_PrepState] = set()
         self.preps_aborted = 0
 
     @property
@@ -86,6 +94,9 @@ class Host:
         for proc in list(self._prep_procs):
             self.preps_aborted += 1
             proc.interrupt(cause)
+        for state in list(self._live_preps):
+            self.preps_aborted += 1
+            state.abort(cause)
 
     def restore(self) -> None:
         """Bring the host and its devices back (empty queues)."""
@@ -112,7 +123,8 @@ class Host:
         the fail-fast path that feeds ``retry_on_failure``.
         """
         proc = self.sim.process(
-            self._guarded_cpu_work(work_us), name=name or f"prep@{self.name}"
+            self._guarded_cpu_work(work_us),
+            name=name or (f"prep@{self.name}" if self.sim.debug_names else ""),
         )
         self._prep_procs.add(proc)
         proc.add_callback(lambda ev: self._prep_procs.discard(proc))
@@ -122,6 +134,37 @@ class Host:
         if self.failed:
             raise HostFailure(self.host_id, "prep on crashed host")
         yield from self.cpu.using(self.sim, work_us)
+
+    def prep_request(self, work_us: float) -> Event:
+        """Crash-aware executor-prep CPU occupancy, without a process.
+
+        Semantically :meth:`prep_process` (acquire the serial CPU, hold
+        it for ``work_us``, release; fail fast with
+        :class:`HostFailure` if the host is down or crashes meanwhile)
+        but wired as an event chain — no generator, no Process, no
+        bootstrap — because the executor layer issues one of these per
+        (node, host) and paper-scale dispatch sweeps create hundreds of
+        thousands of them.  Returns the completion event.
+        """
+        done = Event(self.sim)
+        if self.failed:
+            done.fail(HostFailure(self.host_id, "prep on crashed host"))
+            return done
+        state = _PrepState(self, done, work_us)
+        self._live_preps.add(state)
+        if self.cpu.try_acquire():
+            # Uncontended CPU: go straight to the hold phase.
+            state.holding = True
+            if work_us > 0:
+                self.sim.shared_timeout(work_us).add_callback(state.on_done)
+            else:
+                state.on_done(done)
+        else:
+            self.cpu.request().add_callback(state.on_grant)
+        return done
+
+    def _finish_prep(self, state: "_PrepState") -> None:
+        self._live_preps.discard(state)
 
     def enqueue_kernel(self, device: Device, kernel: Kernel) -> Generator:
         """Dispatch one kernel over PCIe: CPU launch work + PCIe latency.
@@ -143,3 +186,66 @@ class Host:
         """Move ``nbytes`` between device HBM and host DRAM over PCIe."""
         duration = self.config.pcie_latency_us + nbytes / self.config.gpu_dram_bytes_per_us
         yield self.sim.timeout(duration)
+
+
+class _PrepState:
+    """In-flight :meth:`Host.prep_request` bookkeeping.
+
+    Mirrors the acquire/hold/release lifecycle of
+    ``Resource.using`` as explicit callbacks, plus the crash path: if
+    the host dies while this prep is queued or holding the CPU, the
+    completion event fails with :class:`HostFailure` and the CPU slot is
+    returned (a granted-but-unobserved slot is released when the stale
+    grant is processed, so a crash can never leak the serial CPU).
+    """
+
+    __slots__ = ("host", "done", "work_us", "holding")
+
+    def __init__(self, host: Host, done: Event, work_us: float):
+        self.host = host
+        self.done = done
+        self.work_us = work_us
+        self.holding = False
+
+    def on_grant(self, ev: Event) -> None:
+        host = self.host
+        if self.done.triggered:
+            # Aborted (crash) while queued.  A grant that nevertheless
+            # arrived reserved a slot for a dead prep: hand it back.
+            if ev._exc is None:
+                host.cpu.release()
+            return
+        if ev._exc is not None:
+            # Queued waiter failed by Host.crash via cpu.fail_waiters.
+            host._finish_prep(self)
+            self.done.fail(ev._exc)
+            return
+        self.holding = True
+        if self.work_us > 0:
+            # Identical prep work fans out to every host of a group at
+            # the same instant; share the completion timeout.
+            host.sim.shared_timeout(self.work_us).add_callback(self.on_done)
+        else:
+            self.on_done(ev)
+
+    def on_done(self, ev: Event) -> None:
+        if not self.holding:
+            # Aborted (crash) while holding: CPU already released there.
+            return
+        self.holding = False
+        host = self.host
+        host._finish_prep(self)
+        host.cpu.release()
+        if not self.done.triggered:
+            # Completion notification: the only waiter is the executor's
+            # prep barrier, which reacts at this same instant either way.
+            self.done.succeed_inline(None)
+
+    def abort(self, cause: BaseException) -> None:
+        host = self.host
+        host._finish_prep(self)
+        if self.holding:
+            self.holding = False
+            host.cpu.release()
+        if not self.done.triggered:
+            self.done.fail(cause)

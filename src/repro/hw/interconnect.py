@@ -108,7 +108,10 @@ class DCN:
         event triggers one latency later.  Loopback (src is dst) skips
         the network entirely.
         """
-        done = self.sim.event(name=f"dcn:{src.name}->{dst.name}")
+        debug = self.sim.debug_names
+        done = self.sim.event(
+            name=f"dcn:{src.name}->{dst.name}" if debug else ""
+        )
         self.messages_sent += 1
         self.bytes_sent += nbytes
         if src is dst:
@@ -121,7 +124,9 @@ class DCN:
             yield self.sim.timeout(self.config.dcn_latency_us)
             done.succeed(None)
 
-        self.sim.process(_proc(), name=f"dcn_send:{src.name}->{dst.name}")
+        self.sim.process(
+            _proc(), name=f"dcn_send:{src.name}->{dst.name}" if debug else ""
+        )
         return done
 
     def rpc(self, src: Host, dst: Host, nbytes: int = 256) -> Event:

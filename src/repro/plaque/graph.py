@@ -111,13 +111,15 @@ class ShardedGraph:
         if kind is None:
             a, b = self._nodes[src], self._nodes[dst]
             kind = EdgeKind.ONE_TO_ONE if a.n_shards == b.n_shards else EdgeKind.SCATTER
+        # Only the new edge can close a cycle: src->dst cycles iff dst
+        # already reaches src.  One localized reachability probe instead
+        # of a whole-graph acyclicity pass per edge (tracing a k-node
+        # chain was quadratic in k).
+        if src == dst or nx.has_path(self._g, dst, src):
+            raise ValueError(f"edge {src}->{dst} would create a cycle")
         edge = ShardedEdge(src, dst, src_output, dst_input, kind)
         self._edges.append(edge)
         self._g.add_edge(src, dst)
-        if not nx.is_directed_acyclic_graph(self._g):
-            self._g.remove_edge(src, dst)
-            self._edges.pop()
-            raise ValueError(f"edge {src}->{dst} would create a cycle")
         return edge
 
     # -- queries ------------------------------------------------------------

@@ -18,6 +18,7 @@ from repro.sim.engine import (
     Interrupt,
     Process,
     ProcessFailed,
+    Settled,
     Simulator,
     Timeout,
 )
@@ -32,6 +33,7 @@ __all__ = [
     "Process",
     "ProcessFailed",
     "Resource",
+    "Settled",
     "Simulator",
     "Store",
     "Timeout",

@@ -5,15 +5,26 @@ quantities of interest (PCIe enqueue ~3 us, DCN RPC ~40 us, computations
 0.04 ms - 35 ms) are all conveniently expressed in microseconds without
 sub-unit fractions dominating.
 
-Determinism: ties in event time are broken by a monotonically increasing
-sequence number, so two runs of the same program produce identical
-schedules.  Any randomness must come from explicitly seeded generators.
+Determinism: ties in event time are broken by scheduling order — a FIFO
+ring for events scheduled at the current moment, a (time, seq)-ordered
+heap for future timeouts — so two runs of the same program produce
+identical schedules.  Any randomness must come from explicitly seeded
+generators.
+
+Performance: this module is the simulator's hot path (a paper-scale
+sweep processes millions of events), so it deliberately trades a little
+idiom for speed — `_value`/`_exc` are tested directly instead of going
+through the ``triggered``/``ok`` properties, zero-delay occurrences skip
+the heap entirely, and event *names* are resolved lazily.  Pass
+``Simulator(debug_names=True)`` to make components attach their rich
+f-string names eagerly (helpful in a debugger; measurably slower).
 """
 
 from __future__ import annotations
 
 import heapq
-from typing import Any, Callable, Generator, Iterable, Optional
+from collections import deque
+from typing import Any, Callable, Generator, Iterable, Optional, Union
 
 __all__ = [
     "AllOf",
@@ -23,12 +34,18 @@ __all__ = [
     "Interrupt",
     "Process",
     "ProcessFailed",
+    "Settled",
     "Simulator",
     "Timeout",
 ]
 
 #: Sentinel distinguishing "no value yet" from a legitimate ``None`` value.
 _PENDING = object()
+
+#: A name is a plain string, or a zero-argument callable resolved (and
+#: cached) on first access — so hot paths never pay for f-strings that
+#: are only read by error messages and debuggers.
+LazyName = Union[str, Callable[[], str]]
 
 
 class DeadlockError(RuntimeError):
@@ -71,14 +88,25 @@ class Event:
     run immediately.
     """
 
-    __slots__ = ("sim", "_value", "_exc", "callbacks", "name")
+    __slots__ = ("sim", "_value", "_exc", "callbacks", "_name")
 
-    def __init__(self, sim: "Simulator", name: str = ""):
+    def __init__(self, sim: "Simulator", name: LazyName = ""):
         self.sim = sim
-        self.name = name
+        self._name = name
         self._value: Any = _PENDING
         self._exc: Optional[BaseException] = None
         self.callbacks: Optional[list[Callable[[Event], None]]] = []
+
+    # -- naming --------------------------------------------------------
+    @property
+    def name(self) -> str:
+        """Resolved lazily: most events are never asked for their name."""
+        n = self._name
+        if not n:
+            return type(self).__name__.lower()
+        if not isinstance(n, str):
+            n = self._name = n()
+        return n
 
     # -- state ---------------------------------------------------------
     @property
@@ -89,7 +117,7 @@ class Event:
     @property
     def ok(self) -> bool:
         """True if the event succeeded (only meaningful once triggered)."""
-        return self.triggered and self._exc is None
+        return self._value is not _PENDING and self._exc is None
 
     @property
     def value(self) -> Any:
@@ -101,26 +129,46 @@ class Event:
 
     # -- triggering ----------------------------------------------------
     def succeed(self, value: Any = None) -> "Event":
-        if self.triggered:
+        if self._value is not _PENDING or self._exc is not None:
             raise RuntimeError(f"event {self.name!r} already triggered")
         self._value = value
-        self.sim._schedule_event(self)
+        self.sim._immediate.append(self)
         return self
 
     def fail(self, exc: BaseException) -> "Event":
-        if self.triggered:
+        if self._value is not _PENDING or self._exc is not None:
             raise RuntimeError(f"event {self.name!r} already triggered")
         self._exc = exc
-        self.sim._schedule_event(self)
+        self.sim._immediate.append(self)
+        return self
+
+    def succeed_inline(self, value: Any = None) -> "Event":
+        """Trigger *and process* in place, skipping the loop entry.
+
+        For completion notifications raised from inside an
+        already-running event context (a device finishing a kernel): the
+        callbacks would run at the same simulated instant either way, so
+        deferring them through the loop only costs a dispatch.  After
+        this call the event behaves exactly like one the loop has
+        processed (late callbacks run inline).
+        """
+        if self._value is not _PENDING or self._exc is not None:
+            raise RuntimeError(f"event {self.name!r} already triggered")
+        self._value = value
+        callbacks, self.callbacks = self.callbacks, None
+        if callbacks:
+            for fn in callbacks:
+                fn(self)
         return self
 
     # -- callbacks -----------------------------------------------------
     def add_callback(self, fn: Callable[["Event"], None]) -> None:
-        if self.callbacks is None:
+        callbacks = self.callbacks
+        if callbacks is None:
             # Already processed: run inline (still inside sim loop).
             fn(self)
         else:
-            self.callbacks.append(fn)
+            callbacks.append(fn)
 
     def _process_callbacks(self) -> None:
         callbacks, self.callbacks = self.callbacks, None
@@ -141,10 +189,17 @@ class Timeout(Event):
     def __init__(self, sim: "Simulator", delay: float, value: Any = None):
         if delay < 0:
             raise ValueError(f"negative timeout delay: {delay}")
-        super().__init__(sim, name=f"timeout({delay:g})")
-        self.delay = delay
+        self.sim = sim
+        self._name = ""
         self._value = value
-        self.sim._schedule_event(self, delay=delay)
+        self._exc = None
+        self.callbacks = []
+        self.delay = delay
+        sim._schedule_at(self, delay)
+
+    @property
+    def name(self) -> str:
+        return self._name or f"timeout({self.delay:g})"
 
 
 class AllOf(Event):
@@ -157,21 +212,30 @@ class AllOf(Event):
     __slots__ = ("_events", "_remaining")
 
     def __init__(self, sim: "Simulator", events: Iterable[Event]):
-        super().__init__(sim, name="all_of")
-        self._events = list(events)
-        self._remaining = 0
-        for ev in self._events:
-            if not ev.triggered or ev.callbacks is not None:
-                self._remaining += 1
-                ev.add_callback(self._on_child)
-        if self._remaining == 0 and not self.triggered:
+        self.sim = sim
+        self._name = ""
+        self._value = _PENDING
+        self._exc = None
+        self.callbacks = []
+        evs = self._events = list(events)
+        remaining = 0
+        on_child = self._on_child
+        for ev in evs:
+            cbs = ev.callbacks
+            if cbs is not None:
+                # Untriggered, or triggered but not yet processed by the
+                # loop: either way its callbacks will still run.
+                remaining += 1
+                cbs.append(on_child)
+        self._remaining = remaining
+        if remaining == 0:
             self._finish()
 
     def _on_child(self, ev: Event) -> None:
-        if self.triggered:
+        if self._value is not _PENDING or self._exc is not None:
             return
-        if not ev.ok:
-            self.fail(ev._exc)  # type: ignore[arg-type]
+        if ev._exc is not None:
+            self.fail(ev._exc)
             return
         self._remaining -= 1
         if self._remaining == 0:
@@ -182,10 +246,10 @@ class AllOf(Event):
         # AllOf was constructed; propagate that as a failed event rather
         # than raising out of the constructor / event loop.
         for ev in self._events:
-            if not ev.ok:
-                self.fail(ev._exc)  # type: ignore[arg-type]
+            if ev._exc is not None:
+                self.fail(ev._exc)
                 return
-        self.succeed([ev.value for ev in self._events])
+        self.succeed([ev._value for ev in self._events])
 
 
 class AnyOf(Event):
@@ -197,7 +261,11 @@ class AnyOf(Event):
     __slots__ = ("_events",)
 
     def __init__(self, sim: "Simulator", events: Iterable[Event]):
-        super().__init__(sim, name="any_of")
+        self.sim = sim
+        self._name = ""
+        self._value = _PENDING
+        self._exc = None
+        self.callbacks = []
         self._events = list(events)
         if not self._events:
             raise ValueError("AnyOf requires at least one event")
@@ -205,12 +273,72 @@ class AnyOf(Event):
             ev.add_callback(lambda e, i=idx: self._on_child(i, e))
 
     def _on_child(self, idx: int, ev: Event) -> None:
-        if self.triggered:
+        if self._value is not _PENDING or self._exc is not None:
             return
-        if ev.ok:
+        if ev._exc is None:
             self.succeed((idx, ev._value))
         else:
-            self.fail(ev._exc)  # type: ignore[arg-type]
+            self.fail(ev._exc)
+
+
+class Settled(Event):
+    """Fires once every input has triggered *either way* — success or
+    failure.  Never fails itself; value is ``None``.
+
+    This is the counter-based quiescing barrier behind
+    :meth:`Simulator.all_settled`: one callback and one decrement per
+    constituent, instead of the waiter-event-per-constituent pattern
+    (which allocated N events and pushed N loop entries per barrier).
+    """
+
+    __slots__ = ("_remaining",)
+
+    def __init__(self, sim: "Simulator", events: Iterable[Event]):
+        self.sim = sim
+        self._name = ""
+        self._value = _PENDING
+        self._exc = None
+        self.callbacks = []
+        remaining = 0
+        on_child = self._on_child
+        for ev in events:
+            cbs = ev.callbacks
+            if cbs is not None:
+                # Not yet processed: its callbacks will still run (an
+                # already-processed constituent has settled by definition).
+                remaining += 1
+                cbs.append(on_child)
+        self._remaining = remaining
+        if remaining == 0:
+            self.succeed(None)
+
+    def _on_child(self, ev: Event) -> None:
+        self._remaining -= 1
+        if self._remaining == 0:
+            self.succeed(None)
+
+
+class _Bootstrap:
+    """Loop entry that starts a :class:`Process` directly.
+
+    Scheduling this lightweight record instead of a dedicated ``init``
+    Event saves one event allocation + one loop dispatch per process —
+    paper-scale sweeps spawn hundreds of thousands of processes.
+    """
+
+    __slots__ = ("process",)
+
+    def __init__(self, process: "Process"):
+        self.process = process
+
+    @property
+    def name(self) -> str:
+        return f"start:{self.process.name}"
+
+    def _process_callbacks(self) -> None:
+        p = self.process
+        if not p._started and p._value is _PENDING and p._exc is None:
+            p._step()
 
 
 class Process(Event):
@@ -223,16 +351,20 @@ class Process(Event):
     wait on each other.
     """
 
-    __slots__ = ("generator", "_waiting_on", "daemon", "cancelled")
+    __slots__ = ("generator", "_waiting_on", "daemon", "cancelled", "_started")
 
     def __init__(
         self,
         sim: "Simulator",
         generator: Generator,
-        name: str = "",
+        name: LazyName = "",
         daemon: bool = False,
     ):
-        super().__init__(sim, name=name or getattr(generator, "__name__", "process"))
+        self.sim = sim
+        self._name = name
+        self._value = _PENDING
+        self._exc = None
+        self.callbacks = []
         self.generator = generator
         self._waiting_on: Optional[Event] = None
         #: Daemon processes are service loops (device queues, schedulers)
@@ -241,12 +373,22 @@ class Process(Event):
         self.daemon = daemon
         #: True once :meth:`cancel` has stopped the process.
         self.cancelled = False
+        #: True once the generator has been driven (or pre-empted by an
+        #: interrupt/cancel before its first step).
+        self._started = False
         sim._live_processes.add(self)
-        # Bootstrap: start the generator at the current simulation moment.
-        init = Event(sim, name=f"init:{self.name}")
-        self._waiting_on = init
-        init.add_callback(self._resume)
-        init.succeed()
+        # Bootstrap: start the generator at the current simulation moment
+        # (no intermediate init event; the loop entry calls _step).
+        sim._immediate.append(_Bootstrap(self))
+
+    @property
+    def name(self) -> str:
+        n = self._name
+        if not n:
+            return getattr(self.generator, "__name__", "process")
+        if not isinstance(n, str):
+            n = self._name = n()
+        return n
 
     def _detach(self) -> None:
         """Stop listening to whatever this process was waiting on."""
@@ -264,11 +406,14 @@ class Process(Event):
 
     def interrupt(self, cause: Any = None) -> None:
         """Throw :class:`Interrupt` into the process at the current time."""
-        if self.triggered:
+        if self._value is not _PENDING or self._exc is not None:
             return
         self._detach()
-        kick = Event(self.sim, name=f"interrupt:{self.name}")
-        kick.add_callback(lambda ev: self._step(throw=Interrupt(cause)))
+        # A process interrupted before its bootstrap ran never starts
+        # normally: the Interrupt is thrown into the fresh generator.
+        self._started = True
+        kick = Event(self.sim)
+        kick.callbacks.append(lambda ev: self._step(throw=Interrupt(cause)))
         kick.succeed()
 
     def cancel(self, value: Any = None) -> None:
@@ -280,9 +425,10 @@ class Process(Event):
         ``value`` so waiters observe a clean shutdown rather than a
         failure.
         """
-        if self.triggered:
+        if self._value is not _PENDING or self._exc is not None:
             return
         self._detach()
+        self._started = True
         self.generator.close()
         self.sim._live_processes.discard(self)
         self.cancelled = True
@@ -290,15 +436,20 @@ class Process(Event):
 
     # -- internals -----------------------------------------------------
     def _resume(self, ev: Event) -> None:
-        if self.triggered or self._waiting_on is not ev:
+        if (
+            self._waiting_on is not ev
+            or self._value is not _PENDING
+            or self._exc is not None
+        ):
             return
-        if ev.ok:
+        if ev._exc is None:
             self._step(value=ev._value)
         else:
             self._step(throw=ev._exc)
 
     def _step(self, value: Any = None, throw: Optional[BaseException] = None) -> None:
         self._waiting_on = None
+        self._started = True
         try:
             if throw is not None:
                 target = self.generator.throw(throw)
@@ -319,7 +470,11 @@ class Process(Event):
             self.fail(ProcessFailed(self, exc))
             return
         self._waiting_on = target
-        target.add_callback(self._resume)
+        callbacks = target.callbacks
+        if callbacks is None:
+            self._resume(target)
+        else:
+            callbacks.append(self._resume)
 
 
 class Simulator:
@@ -336,13 +491,44 @@ class Simulator:
         proc = sim.process(worker(sim))
         sim.run()
         assert proc.value == "done"
+
+    Two scheduling structures back the loop, preserving the classic
+    (time, sequence) total order while keeping zero-delay occurrences —
+    the overwhelming majority — off the heap:
+
+    * ``_immediate`` — a FIFO of events triggered *at the current
+      moment*; appended in trigger order, which **is** sequence order.
+    * ``_queue`` — a heap of ``(time, seq, event)`` for future timeouts.
+
+    Any heap entry with time equal to ``now`` was necessarily scheduled
+    at an earlier moment (zero-delay scheduling never touches the heap),
+    so it precedes every entry of ``_immediate`` in sequence order; the
+    loop therefore drains same-time heap entries first.
+
+    ``debug_names=True`` makes components attach their rich f-string
+    event names eagerly (slower; great under a debugger).  ``log_schedule``
+    records one ``(time, name)`` tuple per processed event into
+    :attr:`schedule_log` — the golden-determinism tests diff these.
     """
 
-    def __init__(self) -> None:
+    def __init__(self, debug_names: bool = False, log_schedule: bool = False) -> None:
         self._now: float = 0.0
         self._queue: list[tuple[float, int, Event]] = []
+        self._immediate: deque = deque()
         self._seq = 0
         self._live_processes: set[Process] = set()
+        #: Components check this before building f-string event names.
+        self.debug_names = debug_names
+        #: (now, delay) -> Timeout coalescing cache (see shared_timeout).
+        self._shared_timeouts: dict[tuple[float, float], Timeout] = {}
+        #: Lazily-created shared completed event (see granted()).
+        self._granted: Optional[Event] = None
+        #: Total events processed by the loop (events/sec benchmarking).
+        self.events_processed = 0
+        #: ``(time, name)`` per processed event when ``log_schedule``.
+        self.schedule_log: Optional[list[tuple[float, str]]] = (
+            [] if log_schedule else None
+        )
 
     # -- time ------------------------------------------------------------
     @property
@@ -351,13 +537,69 @@ class Simulator:
         return self._now
 
     # -- factory helpers ---------------------------------------------------
-    def event(self, name: str = "") -> Event:
+    def event(self, name: LazyName = "") -> Event:
         return Event(self, name=name)
+
+    def completed(self, value: Any = None, name: LazyName = "") -> Event:
+        """An event that has already succeeded *and been processed*.
+
+        Unlike ``event().succeed(value)`` — which schedules a loop entry
+        so pre-registered callbacks fire in order — a completed event
+        runs late-added callbacks inline, exactly like any event the
+        loop has already processed.  Hot paths hand these out for
+        grants that succeed instantly (e.g. uncontended HBM
+        reservations), where a loop entry per grant is pure overhead.
+        """
+        ev = Event(self, name=name)
+        ev._value = value
+        ev.callbacks = None
+        return ev
+
+    def granted(self) -> Event:
+        """The shared valueless completed event.
+
+        Completed events are immutable (late callbacks run inline, no
+        state changes), so grant-style notifications that carry no
+        meaningful value can all share one instance instead of
+        allocating per grant — the per-device HBM reservation path hands
+        these out once per (node, device).
+        """
+        ev = self._granted
+        if ev is None:
+            ev = self._granted = self.completed(None)
+        return ev
 
     def timeout(self, delay: float, value: Any = None) -> Timeout:
         return Timeout(self, delay, value=value)
 
-    def process(self, generator: Generator, name: str = "", daemon: bool = False) -> Process:
+    def shared_timeout(self, delay: float) -> Timeout:
+        """A coalesced ``timeout(delay)`` for same-instant waiters.
+
+        Gang-synchronized activities (64 devices entering their launch
+        phase on the same generation, 16 hosts starting identical prep
+        work) create many timeouts with the same fire time; sharing one
+        Timeout turns N heap entries + N loop dispatches into one.  Only
+        for plain ``yield``-style waits: the returned event is shared,
+        so callers must not attach exclusive state to it.
+        """
+        if delay <= 0:
+            # A zero-delay timeout elapses within the current moment; a
+            # shared one could already be processed, which would resume
+            # the second waiter a generation early.  Don't coalesce.
+            return Timeout(self, delay)
+        cached = self._shared_timeouts
+        key = (self._now, delay)
+        to = cached.get(key)
+        if to is None:
+            if cached and next(iter(cached))[0] != self._now:
+                # Time moved on; drop stale entries so the cache stays tiny.
+                cached.clear()
+            to = cached[key] = Timeout(self, delay)
+        return to
+
+    def process(
+        self, generator: Generator, name: LazyName = "", daemon: bool = False
+    ) -> Process:
         return Process(self, generator, name=name, daemon=daemon)
 
     def all_of(self, events: Iterable[Event]) -> AllOf:
@@ -366,28 +608,51 @@ class Simulator:
     def any_of(self, events: Iterable[Event]) -> AnyOf:
         return AnyOf(self, events)
 
-    def all_settled(self, events: Iterable[Event]) -> AllOf:
+    def all_settled(self, events: Iterable[Event]) -> Settled:
         """An event that fires once every input has triggered *either
         way* — success or failure (``all_of`` fails fast; quiescing a
         failed set of activities must not)."""
-        waiters = []
-        for ev in events:
-            w = self.event(name="settled")
-            ev.add_callback(lambda e, w=w: w.succeed(None))
-            waiters.append(w)
-        return self.all_of(waiters)
+        return Settled(self, events)
 
     # -- scheduling --------------------------------------------------------
     def _schedule_event(self, event: Event, delay: float = 0.0) -> None:
-        self._seq += 1
-        heapq.heappush(self._queue, (self._now + delay, self._seq, event))
+        """Back-compat scheduling entry point (hot paths append to
+        ``_immediate`` / call :meth:`_schedule_at` directly)."""
+        if delay == 0.0:
+            self._immediate.append(event)
+        else:
+            self._schedule_at(event, delay)
+
+    def _schedule_at(self, event: Event, delay: float) -> None:
+        when = self._now + delay
+        if when <= self._now:
+            # Sub-resolution delay (or float rounding): behaves like a
+            # zero-delay trigger, keeping the sequence order exact.
+            self._immediate.append(event)
+        else:
+            self._seq += 1
+            heapq.heappush(self._queue, (when, self._seq, event))
 
     # -- execution -----------------------------------------------------
     def step(self) -> None:
         """Process the single next event."""
-        when, _, event = heapq.heappop(self._queue)
-        self._now = when
+        immediate = self._immediate
+        queue = self._queue
+        if queue and (not immediate or queue[0][0] <= self._now):
+            when, _, event = heapq.heappop(queue)
+            self._now = when
+        else:
+            event = immediate.popleft()
+        self.events_processed += 1
+        if self.schedule_log is not None:
+            self.schedule_log.append((self._now, event.name))
         event._process_callbacks()
+
+    def _next_time(self) -> float:
+        """Time of the next event; caller guarantees one exists."""
+        if self._immediate:
+            return self._now
+        return self._queue[0][0]
 
     def run(
         self,
@@ -400,12 +665,28 @@ class Simulator:
         processes are still blocked and ``detect_deadlock`` is set,
         raises :class:`DeadlockError` naming the stuck processes.
         """
-        while self._queue:
-            when = self._queue[0][0]
-            if until is not None and when > until:
-                self._now = until
-                return self._now
-            self.step()
+        immediate = self._immediate
+        queue = self._queue
+        pop = heapq.heappop
+        log = self.schedule_log
+        processed = 0
+        try:
+            while immediate or queue:
+                if queue and (not immediate or queue[0][0] <= self._now):
+                    when = queue[0][0]
+                    if until is not None and when > until:
+                        self._now = until
+                        return until
+                    when, _, event = pop(queue)
+                    self._now = when
+                else:
+                    event = immediate.popleft()
+                processed += 1
+                if log is not None:
+                    log.append((self._now, event.name))
+                event._process_callbacks()
+        finally:
+            self.events_processed += processed
         stuck = [p for p in self._live_processes if not p.daemon]
         if detect_deadlock and stuck:
             blocked = sorted(stuck, key=lambda p: p.name)
@@ -420,16 +701,37 @@ class Simulator:
 
     def run_until_triggered(self, event: Event, limit: Optional[float] = None) -> Any:
         """Run just far enough for ``event`` to trigger; return its value."""
-        while not event.triggered:
-            if not self._queue:
-                raise DeadlockError(
-                    f"event {event.name!r} can never trigger: queue drained "
-                    f"at t={self._now:.3f}us",
-                    self._live_processes,
-                )
-            if limit is not None and self._queue[0][0] > limit:
-                raise TimeoutError(
-                    f"event {event.name!r} not triggered by t={limit:.3f}us"
-                )
-            self.step()
+        immediate = self._immediate
+        queue = self._queue
+        pop = heapq.heappop
+        log = self.schedule_log
+        processed = 0
+        try:
+            while event._value is _PENDING and event._exc is None:
+                if queue and (not immediate or queue[0][0] <= self._now):
+                    when = queue[0][0]
+                    if limit is not None and when > limit:
+                        raise TimeoutError(
+                            f"event {event.name!r} not triggered by t={limit:.3f}us"
+                        )
+                    when, _, current = pop(queue)
+                    self._now = when
+                elif immediate:
+                    if limit is not None and self._now > limit:
+                        raise TimeoutError(
+                            f"event {event.name!r} not triggered by t={limit:.3f}us"
+                        )
+                    current = immediate.popleft()
+                else:
+                    raise DeadlockError(
+                        f"event {event.name!r} can never trigger: queue drained "
+                        f"at t={self._now:.3f}us",
+                        self._live_processes,
+                    )
+                processed += 1
+                if log is not None:
+                    log.append((self._now, current.name))
+                current._process_callbacks()
+        finally:
+            self.events_processed += processed
         return event.value

@@ -127,6 +127,10 @@ def run_churn(
     policy: Optional[SchedulingPolicy] = None,
     horizon_slack: float = 20.0,
     add_island_at: Optional[tuple[float, int, int]] = None,
+    aggregate_threshold: int = 64,
+    aggregate_fault_scaling: bool = True,
+    debug_names: bool = False,
+    log_schedule: bool = False,
 ) -> ChurnResult:
     """N tenants training under device churn on one island.
 
@@ -141,16 +145,37 @@ def run_churn(
     ``at_us``, widening the healthy-capacity pool that post-failure
     remaps draw from (recovery can then land evicted tenants on the new
     island instead of backing off for a repair).
+
+    **Paper-scale aggregate runs** (configs A/B): with ``slice_devices >
+    aggregate_threshold`` each tenant's gang is simulated by
+    representative devices standing in for ``slice_devices`` logical
+    shards.  Two knobs keep the reliability study faithful:
+
+    * co-located aggregate tenants always bind *disjoint*
+      representatives (``disjoint_aggregate_reps``), so they do not
+      falsely serialize on shared simulated cores;
+    * ``aggregate_fault_scaling`` divides the representatives'
+      per-device MTBF by their representation factor, preserving the
+      *per-gang* fault arrival rate a fully-detailed simulation of
+      ``slice_devices`` cores would see.  (The scaling is computed from
+      the initial binding; post-remap representative sets keep their
+      original rates — an approximation that is exact until the first
+      migration and conservative after it.)
     """
     if n_clients * slice_devices > n_hosts * devices_per_host:
         raise ValueError(
             f"{n_clients} clients x {slice_devices} devices exceed the island "
             f"({n_hosts * devices_per_host} devices); churn needs headroom"
         )
+    aggregate = slice_devices > aggregate_threshold
     system = PathwaysSystem.build(
         ClusterSpec(islands=((n_hosts, devices_per_host),), name="churn"),
         config=config,
         policy=policy,
+        aggregate_threshold=aggregate_threshold,
+        disjoint_aggregate_reps=aggregate,
+        debug_names=debug_names,
+        log_schedule=log_schedule,
     )
     recovery = RecoveryManager(system)
 
@@ -166,21 +191,9 @@ def run_churn(
 
         system.sim.timeout(grow_at_us).add_callback(_grow)
 
-    injector = None
-    if mtbf_us is not None:
-        # Horizon generously covers the run; the injector idles (daemon)
-        # once the drivers finish.
-        ideal_us = steps_per_client * compute_time_us
-        schedule = FaultSchedule.poisson_device_failures(
-            mtbf_us=mtbf_us,
-            horizon_us=ideal_us * horizon_slack,
-            device_ids=[d.device_id for d in system.cluster.devices],
-            seed=seed,
-            repair_us=repair_us,
-        )
-        injector = FaultInjector(recovery, schedule)
-
-    drivers = []
+    # Bind every tenant's slice first: the fault schedule needs the
+    # initial representative sets to scale aggregate fault rates.
+    tenants = []
     checkpoints = []
     stats: dict[str, dict] = {}
     for c in range(n_clients):
@@ -196,6 +209,64 @@ def run_churn(
         )
         checkpoints.append(ckpt)
         stats[name] = {"replayed": 0, "abandoned": 0, "done": 0}
+        tenants.append((client, step, devs, ckpt, name))
+
+    injector = None
+    if mtbf_us is not None:
+        # Horizon generously covers the run; the injector idles (daemon)
+        # once the drivers finish.
+        ideal_us = steps_per_client * compute_time_us
+        horizon_us = ideal_us * horizon_slack
+        all_ids = [d.device_id for d in system.cluster.devices]
+        rep_factor: dict[int, float] = {}
+        if aggregate_fault_scaling:
+            for _, _, devs, _, _ in tenants:
+                group = devs.group
+                if group.is_aggregate:
+                    f = group.representation_factor
+                    for d in group.devices:
+                        rep_factor[d.device_id] = max(
+                            rep_factor.get(d.device_id, 1.0), f
+                        )
+        if rep_factor:
+            # Representatives fail representation_factor times faster,
+            # preserving the per-gang fault rate of a fully-detailed
+            # simulation; spares keep the nominal per-device MTBF.
+            events = list(
+                FaultSchedule.poisson_device_failures(
+                    mtbf_us=mtbf_us,
+                    horizon_us=horizon_us,
+                    device_ids=[i for i in all_ids if i not in rep_factor],
+                    seed=seed,
+                    repair_us=repair_us,
+                )
+            )
+            by_factor: dict[float, list[int]] = {}
+            for dev_id, f in rep_factor.items():
+                by_factor.setdefault(f, []).append(dev_id)
+            for k, (f, ids) in enumerate(sorted(by_factor.items())):
+                events.extend(
+                    FaultSchedule.poisson_device_failures(
+                        mtbf_us=mtbf_us / f,
+                        horizon_us=horizon_us,
+                        device_ids=sorted(ids),
+                        seed=seed + 7919 * (k + 1),
+                        repair_us=repair_us,
+                    )
+                )
+            schedule = FaultSchedule(events)
+        else:
+            schedule = FaultSchedule.poisson_device_failures(
+                mtbf_us=mtbf_us,
+                horizon_us=horizon_us,
+                device_ids=all_ids,
+                seed=seed,
+                repair_us=repair_us,
+            )
+        injector = FaultInjector(recovery, schedule)
+
+    drivers = []
+    for client, step, devs, ckpt, name in tenants:
         drivers.append(
             system.sim.process(
                 _resilient_driver(

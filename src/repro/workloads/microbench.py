@@ -46,6 +46,10 @@ class MicrobenchResult:
     variant: str       # "opbyop" | "chained" | "fused"
     n_hosts: int
     computations_per_second: float
+    #: Engine events processed during the measured run (throughput bench).
+    sim_events: int = 0
+    #: Simulated time covered by the measured run, in microseconds.
+    sim_elapsed_us: float = 0.0
 
     @property
     def label(self) -> str:
@@ -115,6 +119,8 @@ def run_pathways(
         variant=variant,
         n_hosts=n_hosts,
         computations_per_second=per_call * n_calls / (elapsed_us / 1e6),
+        sim_events=system.sim.events_processed,
+        sim_elapsed_us=elapsed_us,
     )
 
 
@@ -201,6 +207,8 @@ def run_jax(
         variant=variant,
         n_hosts=n_hosts,
         computations_per_second=per_call * n_calls / (elapsed_us / 1e6),
+        sim_events=sim.events_processed,
+        sim_elapsed_us=elapsed_us,
     )
 
 
@@ -231,7 +239,8 @@ def run_tf(
     start = sim.now
     sim.run_until_triggered(proc)
     return MicrobenchResult(
-        "TF", variant, n_hosts, total / ((sim.now - start) / 1e6)
+        "TF", variant, n_hosts, total / ((sim.now - start) / 1e6),
+        sim_events=sim.events_processed, sim_elapsed_us=sim.now - start,
     )
 
 
@@ -262,5 +271,6 @@ def run_ray(
     start = sim.now
     sim.run_until_triggered(proc)
     return MicrobenchResult(
-        "Ray", variant, n_hosts, total / ((sim.now - start) / 1e6)
+        "Ray", variant, n_hosts, total / ((sim.now - start) / 1e6),
+        sim_events=sim.events_processed, sim_elapsed_us=sim.now - start,
     )
