@@ -1,0 +1,161 @@
+"""Network congestion: offered load vs goodput, and route-loss recovery.
+
+The scenario family the routed `repro.net` transport opens up (no
+previous benchmark could express any of these):
+
+1. **Goodput saturation** — bulk cross-island senders sweep offered load
+   past the island-uplink capacity; achieved goodput tracks offered load
+   while the uplink has headroom and saturates at exactly
+   ``net_island_uplink_gbps`` once oversubscribed.
+2. **Dispatch-latency inflation** — a probe tenant's cross-island
+   programs share the fabric with the bulk flows; their submit→done
+   latency inflates under load (multi-tenant network interference).
+3. **Route loss mid-transfer** — a sender host crashes with messages in
+   flight: they fail with ``MessageLost``, reliable senders retransmit
+   after the host restores, probe programs replay via
+   ``retry_on_failure``, and *no NIC or link capacity leaks* (the fabric
+   ends idle).
+
+Scale: config-B-shaped islands (8 TPUs/host); smoke mode trims the
+sweep and shrinks the islands.
+"""
+
+from __future__ import annotations
+
+from repro.bench.harness import Table, full_asserts, smoke_mode, smoke_trim
+from repro.workloads.netload import run_net_congestion
+
+
+def _scale():
+    if smoke_mode():
+        return dict(hosts_per_island=4, devices_per_host=4, duration_us=40_000.0)
+    return dict(hosts_per_island=8, devices_per_host=8, duration_us=150_000.0)
+
+
+def test_goodput_saturates_at_uplink():
+    scale = _scale()
+    sender_counts = smoke_trim([1, 2, 4, 6, 8][: scale["hosts_per_island"] + 1], keep=3)
+    sender_counts = [n for n in sender_counts if n <= scale["hosts_per_island"]]
+
+    table = Table(
+        "Offered load vs achieved cross-island goodput (uplink-bound)",
+        columns=["senders", "offered GB/s", "achieved GB/s", "uplink GB/s", "util"],
+    )
+    results = []
+    for n in sender_counts:
+        r = run_net_congestion(
+            n_senders=n,
+            streams=2,
+            n_probes=0,
+            flow_bytes=8 << 20,
+            **scale,
+        )
+        results.append(r)
+        table.add_row(
+            n, r.offered_gbps, r.achieved_gbps, r.uplink_gbps,
+            r.achieved_gbps / r.uplink_gbps,
+        )
+    table.show()
+
+    for r in results:
+        # Goodput can never exceed the configured uplink capacity, and
+        # the run must leave no capacity behind.
+        assert r.achieved_gbps <= r.uplink_gbps * 1.02, r
+        assert r.fabric_idle and r.nic_slots_leaked == 0, r
+    if full_asserts():
+        under = [r for r in results if r.offered_gbps <= r.uplink_gbps]
+        over = [r for r in results if r.offered_gbps > r.uplink_gbps]
+        # While the uplink has headroom, goodput tracks offered load...
+        for r in under:
+            assert r.achieved_gbps >= 0.9 * r.offered_gbps, r
+        # ...and saturates at the uplink once oversubscribed.
+        for r in over:
+            assert r.achieved_gbps >= 0.9 * r.uplink_gbps, r
+
+
+def test_dispatch_latency_inflation_under_background_traffic():
+    scale = _scale()
+    probes = dict(n_probes=4 if smoke_mode() else 8, probe_elems=1 << 22)
+    base = run_net_congestion(n_senders=0, streams=0, **probes, **scale)
+    loaded = run_net_congestion(
+        n_senders=min(4, scale["hosts_per_island"]),
+        streams=2,
+        flow_bytes=8 << 20,
+        **probes,
+        **scale,
+    )
+
+    table = Table(
+        "Cross-island probe dispatch latency under background transfers",
+        columns=["scenario", "probes", "mean latency (us)", "inflation"],
+    )
+    table.add_row("unloaded", base.probes_run, base.probe_latency_us, 1.0)
+    table.add_row(
+        "loaded",
+        loaded.probes_run,
+        loaded.probe_latency_us,
+        loaded.probe_latency_us / base.probe_latency_us,
+    )
+    table.show()
+
+    assert base.probes_run == probes["n_probes"] and base.probe_failures == 0
+    assert loaded.probes_run == probes["n_probes"] and loaded.probe_failures == 0
+    # Contention is real: the probe's DCN edge queues behind bulk flows.
+    assert loaded.probe_latency_us > base.probe_latency_us
+    if full_asserts():
+        assert loaded.probe_latency_us > 1.3 * base.probe_latency_us
+
+
+def test_host_crash_mid_transfer_recovers_without_leaking_capacity():
+    scale = _scale()
+    r = run_net_congestion(
+        n_senders=2,
+        streams=2,
+        flow_bytes=8 << 20,
+        n_probes=4,
+        probe_elems=1 << 22,
+        crash_sender_at=scale["duration_us"] * 0.25,
+        crash_repair_us=scale["duration_us"] * 0.2,
+        **scale,
+    )
+
+    table = Table(
+        "Route loss: sender host crash mid-transfer, reliable retransmit",
+        columns=[
+            "lost msgs", "retransmits", "probes ok", "probe failures",
+            "goodput GB/s", "fabric idle", "NIC slots leaked",
+        ],
+    )
+    table.add_row(
+        r.messages_lost, r.retransmits, r.probes_run, r.probe_failures,
+        r.achieved_gbps, r.fabric_idle, r.nic_slots_leaked,
+    )
+    table.show()
+
+    # In-flight messages through the dead NIC were lost...
+    assert r.messages_lost > 0, r
+    # ...reliable senders retransmitted and kept delivering...
+    assert r.retransmits > 0 and r.bytes_delivered > 0, r
+    # ...probe programs replayed through retry_on_failure...
+    assert r.probes_run == 4 and r.probe_failures == 0, r
+    # ...and not a byte of link or NIC capacity leaked.
+    assert r.fabric_idle and r.nic_slots_leaked == 0, r
+
+
+def test_fifo_discipline_also_saturates_and_recovers():
+    """The per-hop FIFO alternative: still bounded by the uplink, still
+    leak-free under a crash (store-and-forward abort path)."""
+    scale = _scale()
+    r = run_net_congestion(
+        n_senders=2,
+        streams=2,
+        sharing="fifo",
+        flow_bytes=4 << 20,
+        n_probes=0,
+        crash_sender_at=scale["duration_us"] * 0.25,
+        crash_repair_us=scale["duration_us"] * 0.2,
+        **scale,
+    )
+    assert r.achieved_gbps <= r.uplink_gbps * 1.02
+    assert r.messages_lost > 0 and r.bytes_delivered > 0
+    assert r.fabric_idle and r.nic_slots_leaked == 0

@@ -19,6 +19,7 @@ from repro.bench.harness import Table, geometric_range, smoke_mode
 from repro.bench.wallclock import WallclockRecorder
 from repro.workloads.churn import run_churn
 from repro.workloads.microbench import run_jax, run_pathways
+from repro.workloads.netload import run_net_congestion
 
 #: Config-B scale: 8 TPUs/host, 2..64 hosts (512 cores at the top).
 HOSTS = geometric_range(2, 64, smoke_stop=8)
@@ -82,6 +83,26 @@ def sweep() -> WallclockRecorder:
         sim_us=lambda r: r.elapsed_us,
     )
     assert churn.useful_steps == 3 * steps or not churn.abandoned
+    # Contended-fabric point: bulk flows over the island uplink plus a
+    # crash/retransmit cycle — the repro.net hot path — so network-layer
+    # throughput regressions fail CI exactly like engine regressions.
+    net = rec.measure(
+        "NET-C", 4,
+        lambda: run_net_congestion(
+            n_senders=4,
+            streams=2,
+            hosts_per_island=4,
+            devices_per_host=4,
+            flow_bytes=8 << 20,
+            duration_us=40_000.0,
+            n_probes=4,
+            crash_sender_at=10_000.0,
+            crash_repair_us=8_000.0,
+        ),
+        events=lambda r: r.system_handle.sim.events_processed,
+        sim_us=lambda r: r.elapsed_us,
+    )
+    assert net.fabric_idle and net.probe_failures == 0
     return rec
 
 
@@ -99,8 +120,8 @@ def test_sim_throughput():
             p.sim_us_per_wall_s,
         )
     # The Figure-5 dispatch sweep on its own (the headline ≥5× speedup
-    # quantity) and the overall total including the churn point.
-    fig5 = [p for p in rec.points if p.series != "CHURN-A"]
+    # quantity) and the overall total including the churn + network points.
+    fig5 = [p for p in rec.points if p.series not in ("CHURN-A", "NET-C")]
     fig5_wall = sum(p.wall_s for p in fig5)
     fig5_events = sum(p.events for p in fig5)
     table.add_row(

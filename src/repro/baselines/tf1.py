@@ -52,6 +52,8 @@ class TfOneRuntime:
                 n_hosts_logical=island.n_hosts,
             )
         self.group = group
+        #: Fetches ride the shared cross-host transport's cost model.
+        self.transport = cluster.transport
         self.session_runs = 0
 
     # -- cost components ---------------------------------------------------
@@ -76,8 +78,9 @@ class TfOneRuntime:
         )
 
     def fetch_us(self, nbytes: int) -> float:
-        """Returning fetched outputs to the client over DCN."""
-        return 2 * self.config.dcn_latency_us + nbytes / self.config.dcn_bytes_per_us
+        """Returning fetched outputs to the client over DCN: one
+        transport transfer plus the request latency."""
+        return self.config.dcn_latency_us + self.transport.transfer_time_us(nbytes)
 
     def device_time_us(self, fn: CompiledFunction) -> float:
         coll = (

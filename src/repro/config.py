@@ -28,6 +28,7 @@ Sources for the defaults:
 from __future__ import annotations
 
 from dataclasses import dataclass, replace
+from typing import Optional
 
 __all__ = ["SystemConfig", "DEFAULT_CONFIG"]
 
@@ -46,6 +47,29 @@ class SystemConfig:
     dcn_latency_us: float = 40.0          # one RPC / message latency
     dcn_bandwidth_gbps: float = 12.5      # GB/s per host NIC
     dcn_batch_window_us: float = 5.0      # coalescing window for same-host msgs
+
+    # --- Routed fabric (repro.net) ---------------------------------------
+    #: Model per-link contention on the DCN fabric.  Off by default: the
+    #: uncontended fast path reproduces the historical point-to-point
+    #: cost model byte-identically (sender-NIC serialization only).
+    net_contention: bool = False
+    #: Per-hop serialization discipline when contention is on: "fair"
+    #: (processor sharing — concurrent flows split the link bandwidth)
+    #: or "fifo" (strict arrival-order store-and-forward).
+    net_link_sharing: str = "fair"
+    #: Receiver-NIC ingress bandwidth; None mirrors the egress NIC.
+    net_rx_bandwidth_gbps: Optional[float] = None
+    #: Shared island uplink to the spine (all the island's cross-island
+    #: traffic contends here — the bottleneck the congestion bench
+    #: saturates).
+    net_island_uplink_gbps: float = 50.0
+    #: Spine (core) bandwidth; high enough that uplinks bottleneck first.
+    net_spine_gbps: float = 400.0
+    #: Default in-flight message timeout (0 = no timeout).  Reliable
+    #: sends retransmit after this long without a delivery.
+    net_message_timeout_us: float = 0.0
+    #: Backoff between retransmit attempts of a reliable send.
+    net_retransmit_backoff_us: float = 500.0
 
     # --- Inter-chip interconnect (ICI) ----------------------------------
     ici_latency_us: float = 1.0           # per hop
@@ -100,6 +124,21 @@ class SystemConfig:
     @property
     def ici_bytes_per_us(self) -> float:
         return self.ici_bandwidth_gbps * 1e9 / 1e6
+
+    @property
+    def net_rx_bytes_per_us(self) -> float:
+        gbps = self.net_rx_bandwidth_gbps
+        if gbps is None:
+            gbps = self.dcn_bandwidth_gbps
+        return gbps * 1e9 / 1e6
+
+    @property
+    def net_island_uplink_bytes_per_us(self) -> float:
+        return self.net_island_uplink_gbps * 1e9 / 1e6
+
+    @property
+    def net_spine_bytes_per_us(self) -> float:
+        return self.net_spine_gbps * 1e9 / 1e6
 
     @property
     def gpu_dram_bytes_per_us(self) -> float:

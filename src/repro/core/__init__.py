@@ -23,11 +23,17 @@ from repro.core.object_store import ObjectHandle, ShardedObjectStore
 from repro.core.placement import DeviceGroup
 from repro.core.program import PathwaysProgram, TracedTensor
 from repro.core.resource_manager import ResourceManager
-from repro.core.scheduler import FifoPolicy, IslandScheduler, ProportionalSharePolicy
+from repro.core.scheduler import (
+    DeadlineExceeded,
+    FifoPolicy,
+    IslandScheduler,
+    ProportionalSharePolicy,
+)
 from repro.core.system import DispatchMode, PathwaysSystem
 from repro.core.virtual_device import VirtualDeviceSet, VirtualSlice
 
 __all__ = [
+    "DeadlineExceeded",
     "DeviceGroup",
     "DispatchMode",
     "FifoPolicy",

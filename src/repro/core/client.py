@@ -164,6 +164,7 @@ class PathwaysClient:
         retry_on_failure: bool = False,
         max_attempts: int = 8,
         checkpoint=None,
+        deadline_us: Optional[float] = None,
     ) -> ProgramExecution:
         """Asynchronously submit one execution; returns immediately.
 
@@ -171,6 +172,11 @@ class PathwaysClient:
         on a device loss, waits for the system's RecoveryManager to remap
         its slices, then replays the nodes not covered by ``checkpoint``.
         Resilient drivers wait on ``execution.finished``.
+
+        ``deadline_us`` (relative to submission) bounds time-to-grant:
+        gangs still queued on their island scheduler when the deadline
+        passes are evicted with
+        :class:`~repro.core.scheduler.DeadlineExceeded`.
         """
         low = self.lower(program)
         execution = ProgramExecution(
@@ -183,6 +189,7 @@ class PathwaysClient:
             retry_on_failure=retry_on_failure,
             max_attempts=max_attempts,
             checkpoint=checkpoint,
+            deadline_us=deadline_us,
         )
         sim = self.system.sim
         sim.process(

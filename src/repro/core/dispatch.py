@@ -76,6 +76,7 @@ class ProgramExecution:
         retry_on_failure: bool = False,
         max_attempts: int = 8,
         checkpoint=None,
+        deadline_us: Optional[float] = None,
     ):
         self.system = system
         self.sim = system.sim
@@ -95,6 +96,13 @@ class ProgramExecution:
         #: ``last_checkpoint_us`` and ``restore_cost_us()``); nodes that
         #: completed before the last checkpoint are not replayed.
         self.checkpoint = checkpoint
+        #: Grant deadline (absolute, measured from submission): every
+        #: gang this execution submits must be granted by then or the
+        #: island scheduler evicts it with
+        #: :class:`~repro.core.scheduler.DeadlineExceeded`.
+        self.deadline_at_us: Optional[float] = (
+            self.sim.now + deadline_us if deadline_us is not None else None
+        )
         self.attempts = 0
         self.exec_id = next(_exec_ids)
         self.name = f"{low.name}#{self.exec_id}"
@@ -211,7 +219,14 @@ class ProgramExecution:
             if failure is None:
                 self.finished.succeed(None)
                 return
-            if self.attempts >= self.max_attempts or self.system.recovery is None:
+            if (
+                self.attempts >= self.max_attempts
+                or self.system.recovery is None
+                or unwrap_fault(failure) is None
+            ):
+                # Out of budget, no recovery attached, or the loss is not
+                # a hardware fault at all (e.g. DeadlineExceeded —
+                # replaying would just expire again): abandon.
                 self.finished.fail(ExecutionAbandoned(self.name, self.attempts, failure))
                 return
             cause, failure = failure, None
@@ -289,6 +304,7 @@ class ProgramExecution:
                 node_label=f"{self.name}:{node.label}",
                 cost_us=node.computation.compute_time_us(self.config),
                 device_ids=tuple(d.device_id for d in node.group.devices),
+                deadline_at_us=self.deadline_at_us,
             )
             yield req.grant
         except Exception as exc:  # noqa: BLE001 - grant evicted / prep lost
@@ -336,6 +352,7 @@ class ProgramExecution:
                     node_label=f"{self.name}:{node.label}",
                     cost_us=node.computation.compute_time_us(self.config),
                     device_ids=tuple(d.device_id for d in node.group.devices),
+                    deadline_at_us=self.deadline_at_us,
                 )
                 yield req.grant
             except Exception as exc:  # noqa: BLE001 - prep lost / grant evicted
@@ -461,12 +478,15 @@ class ProgramExecution:
             src_dev = src_group.devices[0]
             dst_dev = node.group.devices[0]
             yield self.sim.timeout(island.ici.transfer_time_us(src_dev, dst_dev, per_shard))
-        else:  # DCN
+        else:  # DCN: a tracked, routed transport message.  A host crash
+            # mid-transfer fails the message with MessageLost (a
+            # FaultError), which fails this node's gate and feeds the
+            # retry_on_failure replay path — DCN route loss is survivable.
             src_group = self.low.node(spec.src_node).group
             per_host = max(1, spec.nbytes // max(1, src_group.n_hosts_logical))
             src_host = src_group.hosts[0]
             dst_host = node.group.hosts[0]
-            yield self.system.cluster.dcn.send(src_host, dst_host, per_host)
+            yield self.system.transport.send(src_host, dst_host, per_host)
 
     # -- completion bookkeeping ----------------------------------------------
     def _on_node_done(self, node: LowLevelNode, ev: Optional[Event] = None) -> None:

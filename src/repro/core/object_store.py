@@ -18,7 +18,7 @@ from __future__ import annotations
 import itertools
 from dataclasses import dataclass
 from enum import Enum
-from typing import Optional
+from typing import Generator, Optional
 
 import numpy as np
 
@@ -70,6 +70,8 @@ class ShardedObjectStore:
         self._hbm_grants: dict[int, list[tuple]] = {}
         self.allocations = 0
         self.frees = 0
+        self.cross_host_fetches = 0
+        self.cross_host_bytes = 0
 
     # -- allocation ---------------------------------------------------------
     def allocate(
@@ -148,6 +150,42 @@ class ShardedObjectStore:
             for dev in handle.group.devices:
                 dev.hbm.free_bytes(handle.nbytes_per_shard)
         self._objects.pop(handle.object_id, None)
+
+    # -- cross-host movement ---------------------------------------------------
+    def fetch_to_host(self, handle: ObjectHandle, dst_host, transport) -> Generator:
+        """Move one (possibly sharded) object's bytes to ``dst_host``.
+
+        Each shard travels from its own host over the routed transport
+        (so cross-island fetches contend on the island uplinks when
+        ``net_contention`` is on), in parallel; the generator completes
+        when every shard has arrived.  A shard host crashing mid-fetch
+        fails the fetch with :class:`~repro.net.MessageLost` — callers on
+        the recovery path replay against the re-produced object.
+        """
+        if handle.freed:
+            raise RuntimeError(f"fetch of freed object {handle.object_id}")
+        if handle.group is None:
+            return  # host-resident object with no placement: nothing moves
+        per_host: dict[int, tuple] = {}
+        for dev in handle.group.devices:
+            host = dev.host
+            if host is None or host is dst_host:
+                # Shards already resident on the destination don't cross
+                # the network (and must not skew the cross-host stats).
+                continue
+            prev = per_host.get(host.host_id)
+            per_host[host.host_id] = (
+                host,
+                (prev[1] if prev else 0) + handle.nbytes_per_shard,
+            )
+        if not per_host:
+            return
+        self.cross_host_fetches += 1
+        sends = []
+        for host, nbytes in per_host.values():
+            self.cross_host_bytes += nbytes
+            sends.append(transport.send(host, dst_host, nbytes))
+        yield self.sim.all_of(sends)
 
     # -- failure cleanup -----------------------------------------------------
     def discard(self, handle: ObjectHandle) -> bool:

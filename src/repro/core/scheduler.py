@@ -28,9 +28,33 @@ from repro.hw.device import DeviceFailure
 from repro.hw.topology import Island
 from repro.sim import Event, Simulator, Store
 
-__all__ = ["FifoPolicy", "GangRequest", "IslandScheduler", "ProportionalSharePolicy"]
+__all__ = [
+    "DeadlineExceeded",
+    "FifoPolicy",
+    "GangRequest",
+    "IslandScheduler",
+    "ProportionalSharePolicy",
+]
 
 _request_seq = itertools.count()
+
+
+class DeadlineExceeded(RuntimeError):
+    """A submission's deadline expired before the gang was granted.
+
+    Deliberately *not* a :class:`~repro.faults.FaultError`: expired work
+    is abandoned, not replayed — a retrying execution surfaces it as
+    :class:`~repro.core.dispatch.ExecutionAbandoned` instead of burning
+    replay attempts on a gang that would expire again.
+    """
+
+    def __init__(self, node_label: str, deadline_at_us: float):
+        super().__init__(
+            f"gang {node_label!r} evicted: deadline {deadline_at_us:.1f}us expired "
+            "before grant"
+        )
+        self.node_label = node_label
+        self.deadline_at_us = deadline_at_us
 
 
 @dataclass
@@ -47,6 +71,9 @@ class GangRequest:
     cost_us: float = 1.0
     #: Devices the gang occupies (admission control is per device).
     device_ids: tuple[int, ...] = ()
+    #: Absolute sim-time grant deadline; an ungranted request past it is
+    #: evicted with :class:`DeadlineExceeded` (None = wait forever).
+    deadline_at_us: Optional[float] = None
     seq: int = field(default_factory=lambda: next(_request_seq))
 
 
@@ -144,6 +171,7 @@ class IslandScheduler:
         self._live_grants: dict[int, tuple[int, ...]] = {}
         self.decisions = 0
         self.evictions = 0
+        self.deadline_evictions = 0
         self.stale_completions = 0
         self.rejected_draining = 0
         #: Set while the island is preempted: pending requests are kept
@@ -164,11 +192,19 @@ class IslandScheduler:
         node_label: str,
         cost_us: float = 1.0,
         device_ids: tuple[int, ...] = (),
+        deadline_at_us: Optional[float] = None,
     ) -> GangRequest:
         """Register a computation for sequencing; caller waits on
         ``request.grant``, enqueues its kernels, triggers
         ``request.enqueued_ack`` so the next grant can proceed, and calls
-        :meth:`complete` when the computation finishes on-device."""
+        :meth:`complete` when the computation finishes on-device.
+
+        ``deadline_at_us`` (absolute sim time) arms deadline eviction: if
+        the request is still pending when the deadline passes, it leaves
+        the queue through the eviction path and its grant fails with
+        :class:`DeadlineExceeded`.  Granted gangs are never killed by
+        their deadline — non-preemptible devices are already running them.
+        """
         debug = self.sim.debug_names
         req = GangRequest(
             client=client,
@@ -178,8 +214,14 @@ class IslandScheduler:
             enqueued_ack=self.sim.event(name=f"ack:{node_label}" if debug else ""),
             cost_us=cost_us,
             device_ids=tuple(device_ids),
+            deadline_at_us=deadline_at_us,
         )
         self._incoming.push(("req", req))
+        if deadline_at_us is not None:
+            delay = max(0.0, deadline_at_us - self.sim.now)
+            self.sim.timeout(delay).add_callback(
+                lambda ev, r=req: self._incoming.push(("expire", r))
+            )
         return req
 
     def complete(self, req: GangRequest) -> None:
@@ -321,6 +363,19 @@ class IslandScheduler:
                         DeviceFailure(device_id, f"evicted {req.node_label}")
                     )
             self._check_drained()
+        elif kind == "expire":
+            req = payload
+            if req in self._pending:
+                # Same removal path as a device eviction: surviving
+                # requests keep their sequence numbers, so the relative
+                # enqueue order of everything still eligible holds.
+                self._pending.remove(req)
+                self.deadline_evictions += 1
+                if not req.grant.triggered:
+                    req.grant.fail(
+                        DeadlineExceeded(req.node_label, req.deadline_at_us)
+                    )
+                self._check_drained()
         elif kind == "readmit":
             self._purge_device(payload)
             self._check_drained()

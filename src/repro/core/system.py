@@ -112,6 +112,11 @@ class PathwaysSystem:
         )
 
     # -- components -------------------------------------------------------
+    @property
+    def transport(self):
+        """The cross-host transport (``repro.net``) shared system-wide."""
+        return self.cluster.transport
+
     def scheduler_for(self, island: Island) -> IslandScheduler:
         return self._schedulers[island.island_id]
 

@@ -18,11 +18,11 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.config import DEFAULT_CONFIG, SystemConfig
+from repro.net import Fabric, Transport
 from repro.sim import Simulator
 
 from repro.hw.device import Device
 from repro.hw.host import Host
-from repro.hw.interconnect import DCN
 from repro.hw.topology import Island
 
 __all__ = ["Cluster", "ClusterSpec", "config_a", "config_b", "config_c", "make_cluster"]
@@ -60,7 +60,7 @@ def config_c() -> ClusterSpec:
 
 
 class Cluster:
-    """A set of islands plus the DCN connecting their hosts."""
+    """A set of islands plus the routed DCN fabric connecting their hosts."""
 
     def __init__(
         self,
@@ -72,7 +72,10 @@ class Cluster:
         self.sim = sim
         self.spec = spec
         self.config = config
-        self.dcn = DCN(sim, config)
+        #: Topology-aware link set (host NIC tx/rx, island uplinks, spine).
+        self.fabric = Fabric(sim, config)
+        #: The uniform cross-host transport; ``dcn`` is the historical name.
+        self.dcn = Transport(sim, config, fabric=self.fabric)
         self.islands: list[Island] = []
         host_id = 0
         device_id = 0
@@ -90,6 +93,11 @@ class Cluster:
             self.islands.append(island)
             host_id += n_hosts
             device_id += n_hosts * per_host
+
+    @property
+    def transport(self) -> Transport:
+        """The cross-host transport (alias of :attr:`dcn`)."""
+        return self.dcn
 
     @property
     def hosts(self) -> list[Host]:

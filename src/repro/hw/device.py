@@ -22,6 +22,7 @@ from collections import deque
 from typing import Callable, Deque, Optional, TYPE_CHECKING
 
 from repro.config import SystemConfig
+from repro.faults import FaultError, unwrap_fault
 from repro.sim import Event, Simulator
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard for typing only
@@ -37,35 +38,6 @@ __all__ = [
     "Kernel",
     "unwrap_fault",
 ]
-
-
-class FaultError(RuntimeError):
-    """Base of hardware-loss exceptions (device failure, host crash).
-
-    Fault exceptions frequently arrive *wrapped* — a failed transfer
-    process delivers ``ProcessFailed(DeviceFailure)``, an interrupted
-    prep ``ProcessFailed(Interrupt(HostFailure))`` — so code deciding
-    "is this a survivable peer loss?" must use :func:`unwrap_fault`
-    rather than a bare ``isinstance``.
-    """
-
-
-def unwrap_fault(exc: Optional[BaseException]) -> Optional["FaultError"]:
-    """The :class:`FaultError` inside ``exc``'s cause chain, if any.
-
-    Walks both explicit ``.cause`` attributes (``ProcessFailed``,
-    ``Interrupt``) and implicit ``__cause__`` chaining.
-    """
-    seen: set[int] = set()
-    while exc is not None and id(exc) not in seen:
-        seen.add(id(exc))
-        if isinstance(exc, FaultError):
-            return exc
-        nested = getattr(exc, "cause", None)
-        if not isinstance(nested, BaseException):
-            nested = exc.__cause__
-        exc = nested
-    return None
 
 
 class DeviceFailure(FaultError):
@@ -224,6 +196,7 @@ class CollectiveRendezvous:
         name: str = "",
         compute_us: float = 0.0,
         launch_us: float = 0.0,
+        wire_fn: Optional[Callable[[], Event]] = None,
     ):
         if participants < 1:
             raise ValueError("collective needs at least one participant")
@@ -232,6 +205,14 @@ class CollectiveRendezvous:
         self.expected = participants
         self.duration_us = duration_us
         self.compute_us = compute_us
+        #: Dynamic wire phase: called once every participant has joined;
+        #: the returned event's completion (or failure — e.g. a
+        #: cross-island transfer lost to a host crash) replaces the fixed
+        #: ``duration_us`` timeout.  This is how congestion-aware
+        #: cross-island collectives route their gather/scatter traffic
+        #: through the contended fabric (``Transport.make_cross_island_
+        #: collective``).
+        self.wire_fn = wire_fn
         #: Per-device kernel-launch latency folded into the completion
         #: (joins happen at queue-head time, uniformly ``launch_us``
         #: early, so the completion timeout covers launch + wire +
@@ -270,14 +251,24 @@ class CollectiveRendezvous:
             # wire time, plus the folded compute phase if any.  A device
             # can still fail *during* the wire time, in which case the
             # abort wins and this completion is dropped.
-            self.sim.timeout(self.launch_us + self.duration_us).add_callback(
-                self._finish_wire
-            )
+            if self.wire_fn is not None:
+                # The wire phase is real (contended) network traffic: a
+                # lost transfer fails the whole gang into recovery.
+                self.wire_fn().add_callback(self._finish_wire)
+            else:
+                self.sim.timeout(self.launch_us + self.duration_us).add_callback(
+                    self._finish_wire
+                )
         return self._done
 
     def _finish_wire(self, ev: Event) -> None:
         if self._done.triggered:
             return  # aborted during the wire phase
+        if ev._exc is not None:
+            # A dynamic wire phase failed (e.g. MessageLost): release
+            # every participant with the fault instead of wedging them.
+            self._done.fail(ev._exc)
+            return
         self._wire_done = True
         if self.compute_us > 0:
             self.sim.timeout(self.compute_us).add_callback(self._finish_compute)

@@ -17,7 +17,7 @@ where ``retry_on_failure`` catches it.
 
 from __future__ import annotations
 
-from typing import Generator
+from typing import Callable, Generator
 
 from repro.config import SystemConfig
 from repro.sim import Event, Process, Resource, Simulator
@@ -73,6 +73,9 @@ class Host:
         #: on crash.
         self._live_preps: set[_PrepState] = set()
         self.preps_aborted = 0
+        #: Crash observers (the transport layer fails in-flight messages
+        #: routed through this host's NIC on crash).
+        self._crash_listeners: list[Callable[["Host"], object]] = []
 
     @property
     def name(self) -> str:
@@ -91,12 +94,18 @@ class Host:
         # Queued CPU waiters first (they would otherwise be granted a
         # slot on the dead CPU), then in-flight holders.
         self.cpu.fail_waiters(cause)
+        # Sends still queued for the dead NIC can never serialize.
+        self.nic.fail_waiters(cause)
         for proc in list(self._prep_procs):
             self.preps_aborted += 1
             proc.interrupt(cause)
         for state in list(self._live_preps):
             self.preps_aborted += 1
             state.abort(cause)
+        # Route invalidation: the transport fails in-flight messages
+        # endpointed at this host's NIC.
+        for listener in list(self._crash_listeners):
+            listener(self)
 
     def restore(self) -> None:
         """Bring the host and its devices back (empty queues)."""
@@ -105,6 +114,12 @@ class Host:
         self.failed = False
         for device in self.devices:
             device.restart()
+
+    def add_crash_listener(self, fn: Callable[["Host"], object]) -> None:
+        """Run ``fn(host)`` whenever this host crashes (after its CPU and
+        NIC waiters have been failed, so a listener observes the queues
+        already settled)."""
+        self._crash_listeners.append(fn)
 
     def attach(self, device: Device) -> None:
         device.host = self

@@ -1,10 +1,12 @@
-"""Interconnect cost models: per-island ICI and cross-island DCN.
+"""Interconnect models: per-island ICI and the cross-island DCN transport.
 
 ICI is the dedicated accelerator interconnect (TPU mesh): device-to-device
-transfers and fused collectives run here without host involvement.  DCN is
-the datacenter network: host-mediated, an order of magnitude higher
-latency (paper §2, Figure 1), with per-host NIC bandwidth.  Both are cost
-models plus (for DCN) serialization through the sending host's NIC.
+transfers and fused collectives run here without host involvement.  The
+DCN is the datacenter network: host-mediated, an order of magnitude
+higher latency (paper §2, Figure 1).  Cross-host communication lives in
+:mod:`repro.net` — a routed :class:`~repro.net.Transport` over a
+topology-aware :class:`~repro.net.Fabric`; ``DCN`` is kept here as the
+historical name for that transport (``Cluster.dcn`` is one).
 """
 
 from __future__ import annotations
@@ -13,10 +15,10 @@ import math
 from typing import Generator
 
 from repro.config import SystemConfig
-from repro.sim import Event, Simulator
+from repro.net.transport import Transport as DCN
+from repro.sim import Simulator
 
 from repro.hw.device import CollectiveRendezvous, Device
-from repro.hw.host import Host
 
 __all__ = ["DCN", "ICI"]
 
@@ -80,55 +82,3 @@ class ICI:
             self.allreduce_time_us(participants, nbytes),
             name=name or f"allreduce[{participants}x{nbytes}B]",
         )
-
-
-class DCN:
-    """Datacenter network connecting all hosts (RDMA-style).
-
-    Messages serialize through the sending host's NIC (bandwidth term)
-    and arrive after the propagation latency.  Small control messages
-    destined for the same host inside a batching window can be coalesced
-    by the PLAQUE layer (see :mod:`repro.plaque.channels`); the DCN
-    itself charges each send independently.
-    """
-
-    def __init__(self, sim: Simulator, config: SystemConfig):
-        self.sim = sim
-        self.config = config
-        self.messages_sent = 0
-        self.bytes_sent = 0
-
-    def transfer_time_us(self, nbytes: int) -> float:
-        return self.config.dcn_latency_us + nbytes / self.config.dcn_bytes_per_us
-
-    def send(self, src: Host, dst: Host, nbytes: int) -> Event:
-        """Send ``nbytes`` from ``src`` to ``dst``; returns arrival event.
-
-        The sender's NIC is held for the serialization time; the arrival
-        event triggers one latency later.  Loopback (src is dst) skips
-        the network entirely.
-        """
-        debug = self.sim.debug_names
-        done = self.sim.event(
-            name=f"dcn:{src.name}->{dst.name}" if debug else ""
-        )
-        self.messages_sent += 1
-        self.bytes_sent += nbytes
-        if src is dst:
-            done.succeed(None)
-            return done
-
-        def _proc() -> Generator:
-            serialize = nbytes / self.config.dcn_bytes_per_us
-            yield from src.nic.using(self.sim, serialize)
-            yield self.sim.timeout(self.config.dcn_latency_us)
-            done.succeed(None)
-
-        self.sim.process(
-            _proc(), name=f"dcn_send:{src.name}->{dst.name}" if debug else ""
-        )
-        return done
-
-    def rpc(self, src: Host, dst: Host, nbytes: int = 256) -> Event:
-        """A small control-plane message (scheduling, data handles)."""
-        return self.send(src, dst, nbytes)

@@ -130,7 +130,7 @@ class DataParallelTrainer:
             if k > 1:
                 peer = self.groups[(idx + 1) % k]
                 chunk_events.append(
-                    self.system.cluster.dcn.send(
+                    self.system.transport.send(
                         group.hosts[0], peer.hosts[0], per_host_bytes
                     )
                 )
@@ -546,7 +546,7 @@ class ElasticDataParallelTrainer:
                 if k > 1:
                     peer = reps[(idx + 1) % k].vslice.group
                     transfers.append(
-                        self.system.cluster.dcn.send(
+                        self.system.transport.send(
                             group.hosts[0], peer.hosts[0], per_host
                         )
                     )

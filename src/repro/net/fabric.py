@@ -1,0 +1,382 @@
+"""The routed DCN fabric: links, static routes, and contention.
+
+The fabric models the datacenter network as a two-tier tree the way
+first-principles infrastructure simulators do (MLSYSIM): every host owns
+an egress (tx) and ingress (rx) NIC link, every island shares one uplink
+pair to the spine, and the spine connects islands.  Static routes are
+
+* intra-island: ``src NIC tx -> dst NIC rx``
+* cross-island: ``src NIC tx -> island uplink tx -> spine ->
+  island uplink rx -> dst NIC rx``
+
+Two serialization disciplines are supported (``net_link_sharing``):
+
+* ``"fair"`` — the flow-level fluid model packet-switched networks
+  approximate: a message occupies *every* link on its route
+  simultaneously and progresses at ``min over links of
+  (link bandwidth / flows on that link)``, recomputed whenever any flow
+  starts, finishes, or aborts.  A lone flow runs at its bottleneck link
+  rate; aggregate goodput through a shared uplink saturates at exactly
+  the uplink bandwidth.
+* ``"fifo"`` — store-and-forward: the message crosses hops one at a
+  time, each hop serving one message at a time in arrival order.
+
+Both disciplines support exact abort — an in-flight message whose
+endpoint host crashed releases all held capacity immediately, the
+network analogue of the PR-3 CPU-slot-leak fix: a failure may never
+strand link bandwidth.
+
+Links are created lazily per host/island, so elastically added islands
+(:meth:`~repro.core.system.PathwaysSystem.add_island`) join the fabric
+transparently.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, Optional, TYPE_CHECKING
+
+from repro.config import SystemConfig
+from repro.sim import Event, Simulator
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.hw.host import Host
+
+__all__ = ["Fabric", "Link"]
+
+#: Residual-byte tolerance for fluid completion (float accumulation of
+#: rate * elapsed products).
+_EPS_BYTES = 1e-6
+
+
+class Link:
+    """One fabric hop: a bandwidth capacity with FIFO serialization.
+
+    Under the fluid (fair) discipline the :class:`Fabric` drives
+    progress and this object holds capacity plus accounting; under FIFO
+    the link itself serializes messages via :meth:`transmit` /
+    :meth:`abort`.
+    """
+
+    __slots__ = (
+        "sim",
+        "name",
+        "bytes_per_us",
+        "bytes_carried",
+        "flows_completed",
+        "flows_aborted",
+        "max_concurrency",
+        "fluid_flows",
+        "_gen",
+        "_queue",
+        "_active",
+    )
+
+    def __init__(self, sim: Simulator, bytes_per_us: float, name: str = ""):
+        if bytes_per_us <= 0:
+            raise ValueError(f"link bandwidth must be positive, got {bytes_per_us}")
+        self.sim = sim
+        self.name = name or "link"
+        self.bytes_per_us = bytes_per_us
+        self.bytes_carried = 0
+        self.flows_completed = 0
+        self.flows_aborted = 0
+        self.max_concurrency = 0
+        #: Live fluid flows crossing this link (maintained by Fabric).
+        self.fluid_flows = 0
+        #: Guards stale FIFO completion timers across aborts.
+        self._gen = 0
+        self._queue: Deque[list] = deque()
+        self._active: Optional[list] = None
+
+    # -- introspection ----------------------------------------------------
+    @property
+    def idle(self) -> bool:
+        """True when no flow occupies or waits for this link — the
+        capacity-leak check benches and tests assert after faults."""
+        return self._active is None and not self._queue and self.fluid_flows == 0
+
+    @property
+    def concurrency(self) -> int:
+        fifo = (1 if self._active is not None else 0) + len(self._queue)
+        return fifo + self.fluid_flows
+
+    def _note_concurrency(self) -> None:
+        c = self.concurrency
+        if c > self.max_concurrency:
+            self.max_concurrency = c
+
+    # -- FIFO store-and-forward -------------------------------------------
+    def transmit(self, key, nbytes: int) -> Event:
+        """Start one FIFO hop crossing; returns its completion event."""
+        if nbytes < 0:
+            raise ValueError(f"negative transfer: {nbytes}")
+        debug = self.sim.debug_names
+        ev = Event(self.sim, f"hop:{self.name}" if debug else "")
+        if nbytes == 0:
+            ev.succeed(None)
+            return ev
+        entry = [key, nbytes, ev]
+        if self._active is None:
+            self._start(entry)
+        else:
+            self._queue.append(entry)
+            self._note_concurrency()
+        return ev
+
+    def abort(self, key) -> bool:
+        """Drop a queued or in-flight FIFO crossing, releasing the link.
+
+        The crossing's completion event is *abandoned* (the transport
+        fails the owning message itself); returns False when ``key`` is
+        not on this link.
+        """
+        active = self._active
+        if active is not None and active[0] is key:
+            self._gen += 1
+            self._active = None
+            self.flows_aborted += 1
+            self._start_next()
+            return True
+        for entry in self._queue:
+            if entry[0] is key:
+                self._queue.remove(entry)
+                self.flows_aborted += 1
+                return True
+        return False
+
+    def _start(self, entry: list) -> None:
+        self._active = entry
+        self._note_concurrency()
+        self._gen += 1
+        gen = self._gen
+        self.sim.timeout(entry[1] / self.bytes_per_us).add_callback(
+            lambda ev, g=gen: self._on_fifo_done(g)
+        )
+
+    def _on_fifo_done(self, gen: int) -> None:
+        if gen != self._gen or self._active is None:
+            return  # aborted meanwhile
+        entry, self._active = self._active, None
+        self.bytes_carried += entry[1]
+        self.flows_completed += 1
+        ev = entry[2]
+        if not ev.triggered:
+            ev.succeed(None)
+        self._start_next()
+
+    def _start_next(self) -> None:
+        if self._active is None and self._queue:
+            self._start(self._queue.popleft())
+
+
+class _Flow:
+    """One fluid flow spanning its whole route."""
+
+    __slots__ = ("key", "route", "remaining", "nbytes", "ev", "rate")
+
+    def __init__(self, key, route: list[Link], nbytes: int, ev: Event):
+        self.key = key
+        self.route = route
+        self.remaining = float(nbytes)
+        self.nbytes = nbytes
+        self.ev = ev
+        self.rate = 0.0
+
+
+class Fabric:
+    """Topology-aware link set with static two-tier routes.
+
+    Links are created on first use from the config's bandwidth knobs, so
+    islands added at runtime get fabric links with no registration step.
+    The fabric also runs the fluid fair-share engine
+    (:meth:`start_flow` / :meth:`abort_flow`) that the transport uses
+    when ``net_link_sharing == "fair"``.
+    """
+
+    def __init__(self, sim: Simulator, config: SystemConfig):
+        self.sim = sim
+        self.config = config
+        self.sharing = config.net_link_sharing
+        if self.sharing not in ("fair", "fifo"):
+            raise ValueError(
+                f"net_link_sharing must be 'fair' or 'fifo', got {self.sharing!r}"
+            )
+        self._nic_tx: dict[int, Link] = {}
+        self._nic_rx: dict[int, Link] = {}
+        self._uplink_tx: dict[int, Link] = {}
+        self._uplink_rx: dict[int, Link] = {}
+        self._spine: Optional[Link] = None
+        # Fluid engine state.
+        self._flows: dict = {}
+        self._flow_gen = 0
+        self._last_advance = 0.0
+
+    # -- link accessors ----------------------------------------------------
+    def nic_tx(self, host: "Host") -> Link:
+        link = self._nic_tx.get(host.host_id)
+        if link is None:
+            link = self._nic_tx[host.host_id] = Link(
+                self.sim,
+                self.config.dcn_bytes_per_us,
+                name=f"nic_tx[h{host.host_id}]",
+            )
+        return link
+
+    def nic_rx(self, host: "Host") -> Link:
+        link = self._nic_rx.get(host.host_id)
+        if link is None:
+            link = self._nic_rx[host.host_id] = Link(
+                self.sim,
+                self.config.net_rx_bytes_per_us,
+                name=f"nic_rx[h{host.host_id}]",
+            )
+        return link
+
+    def uplink_tx(self, island_id: int) -> Link:
+        link = self._uplink_tx.get(island_id)
+        if link is None:
+            link = self._uplink_tx[island_id] = Link(
+                self.sim,
+                self.config.net_island_uplink_bytes_per_us,
+                name=f"uplink_tx[i{island_id}]",
+            )
+        return link
+
+    def uplink_rx(self, island_id: int) -> Link:
+        link = self._uplink_rx.get(island_id)
+        if link is None:
+            link = self._uplink_rx[island_id] = Link(
+                self.sim,
+                self.config.net_island_uplink_bytes_per_us,
+                name=f"uplink_rx[i{island_id}]",
+            )
+        return link
+
+    @property
+    def spine(self) -> Link:
+        if self._spine is None:
+            self._spine = Link(
+                self.sim, self.config.net_spine_bytes_per_us, name="spine"
+            )
+        return self._spine
+
+    # -- routing -----------------------------------------------------------
+    def route(self, src: "Host", dst: "Host") -> list[Link]:
+        """The static route for one message (loopback routes are empty)."""
+        if src is dst:
+            return []
+        if src.island_id == dst.island_id:
+            return [self.nic_tx(src), self.nic_rx(dst)]
+        return [
+            self.nic_tx(src),
+            self.uplink_tx(src.island_id),
+            self.spine,
+            self.uplink_rx(dst.island_id),
+            self.nic_rx(dst),
+        ]
+
+    # -- the fluid fair-share engine ----------------------------------------
+    def start_flow(self, key, route: list[Link], nbytes: int) -> Event:
+        """Start one fluid flow across ``route``; returns its completion.
+
+        The flow progresses at the min over its links of
+        ``bandwidth / flows_on_link`` — recomputed for *every* live flow
+        whenever membership changes anywhere on the fabric.
+        """
+        debug = self.sim.debug_names
+        ev = Event(self.sim, "flow" if debug else "")
+        if nbytes <= 0 or not route:
+            ev.succeed(None)
+            return ev
+        self._advance()
+        flow = _Flow(key, route, nbytes, ev)
+        self._flows[key] = flow
+        for link in route:
+            link.fluid_flows += 1
+            link._note_concurrency()
+        self._recompute_rates()
+        self._arm_timer()
+        return ev
+
+    def abort_flow(self, key) -> bool:
+        """Remove one fluid flow, releasing its share on every link."""
+        flow = self._flows.get(key)
+        if flow is None:
+            return False
+        self._advance()
+        del self._flows[key]
+        for link in flow.route:
+            link.fluid_flows -= 1
+            link.flows_aborted += 1
+        self._recompute_rates()
+        self._arm_timer()
+        return True
+
+    def _advance(self) -> None:
+        now = self.sim.now
+        elapsed = now - self._last_advance
+        if elapsed > 0 and self._flows:
+            for flow in self._flows.values():
+                flow.remaining -= flow.rate * elapsed
+        self._last_advance = now
+
+    def _recompute_rates(self) -> None:
+        for flow in self._flows.values():
+            flow.rate = min(
+                link.bytes_per_us / link.fluid_flows for link in flow.route
+            )
+
+    def _arm_timer(self) -> None:
+        self._flow_gen += 1
+        flows = self._flows
+        if not flows:
+            return
+        delay = min(max(0.0, f.remaining) / f.rate for f in flows.values())
+        if delay <= 0:
+            self._finish_due()
+            return
+        gen = self._flow_gen
+        self.sim.timeout(delay).add_callback(
+            lambda ev, g=gen: g == self._flow_gen and self._finish_due()
+        )
+
+    def _finish_due(self) -> None:
+        self._advance()
+        finished = [
+            f for f in self._flows.values() if f.remaining <= _EPS_BYTES
+        ]
+        for flow in finished:
+            del self._flows[flow.key]
+            for link in flow.route:
+                link.fluid_flows -= 1
+                link.bytes_carried += flow.nbytes
+                link.flows_completed += 1
+            if not flow.ev.triggered:
+                flow.ev.succeed(None)
+        self._recompute_rates()
+        self._arm_timer()
+
+    # -- introspection -----------------------------------------------------
+    def links(self) -> list[Link]:
+        out = (
+            list(self._nic_tx.values())
+            + list(self._nic_rx.values())
+            + list(self._uplink_tx.values())
+            + list(self._uplink_rx.values())
+        )
+        if self._spine is not None:
+            out.append(self._spine)
+        return out
+
+    @property
+    def active_flows(self) -> int:
+        return len(self._flows)
+
+    @property
+    def idle(self) -> bool:
+        """No flow anywhere on the fabric (capacity-leak invariant)."""
+        return not self._flows and all(link.idle for link in self.links())
+
+    def busy_links(self) -> list[Link]:
+        return [link for link in self.links() if not link.idle]

@@ -1,0 +1,491 @@
+"""The uniform cross-host transport (routed, crash-aware, contended).
+
+Every cross-host communication in the system — gang dispatch, PLAQUE
+control messages, cross-island object transfers, recovery traffic — goes
+through one :class:`Transport`.  A send produces a first-class
+:class:`Message` (itself an :class:`~repro.sim.Event`) that is *tracked
+while in flight*: when a host crashes, every message still queued for or
+crossing its NIC fails with :class:`MessageLost` (a
+:class:`~repro.hw.device.FaultError`, so the loss feeds the existing
+``retry_on_failure`` recovery path), and every byte of link capacity the
+message held is released exactly — a crash can never strand NIC or
+uplink bandwidth, mirroring the host-CPU-slot guarantee of
+:class:`~repro.hw.host._PrepState`.
+
+Two cost models share the API:
+
+* **uncontended fast path** (``SystemConfig.net_contention=False``, the
+  default): the historical point-to-point model — serialization through
+  the sending host's NIC, then one propagation latency — reproduced
+  byte-identically, now as an explicit event-chain state machine so the
+  crash-abort path knows exactly which phase (queued / holding the NIC /
+  propagating) each message is in;
+* **contended fabric** (``net_contention=True``): the message traverses
+  its static :class:`~repro.net.fabric.Fabric` route hop by hop,
+  store-and-forward, sharing every link fairly (or FIFO) with whatever
+  else is crossing it — host NIC tx/rx, the island uplinks, the spine.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Callable, Generator, Iterable, Optional, Sequence, TYPE_CHECKING
+
+from repro.config import SystemConfig
+from repro.faults import FaultError
+from repro.sim import Event, Simulator
+
+from repro.net.fabric import Fabric, Link
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.hw.device import CollectiveRendezvous
+    from repro.hw.host import Host
+
+__all__ = ["Message", "MessageLost", "Transport"]
+
+_message_ids = itertools.count(1)
+
+# _SendState phases (uncontended fast path).
+_QUEUED = 0        # waiting for the sender's NIC
+_HOLDING = 1       # serializing through the sender's NIC
+_PROPAGATING = 2   # on the wire (past the sender's NIC)
+_SETTLED = 3       # delivered or aborted
+
+
+class MessageLost(FaultError):
+    """An in-flight message failed (endpoint crash or timeout).
+
+    A :class:`~repro.hw.device.FaultError`: a transfer gating a kernel
+    that loses its message releases the kernel with this, and the
+    dispatching program's ``retry_on_failure`` path replays the node —
+    the DCN-route-loss recovery story.
+    """
+
+    def __init__(self, message: "Message", reason: str):
+        super().__init__(
+            f"message h{message.src.host_id}->h{message.dst.host_id} "
+            f"({message.nbytes}B) lost: {reason}"
+        )
+        self.message = message
+        self.reason = reason
+
+
+class Message(Event):
+    """One tracked cross-host message; fires on delivery.
+
+    The event's value is ``None`` on delivery; failure carries
+    :class:`MessageLost`.  ``route`` is the list of fabric links a
+    contended message crosses (empty on the uncontended fast path).
+    """
+
+    __slots__ = (
+        "msg_id", "src", "dst", "nbytes", "sent_at_us", "route",
+        "on_wire", "_state", "_proc",
+    )
+
+    def __init__(self, sim: Simulator, src: "Host", dst: "Host", nbytes: int, name=""):
+        super().__init__(sim, name=name)
+        self.msg_id = next(_message_ids)
+        self.src = src
+        self.dst = dst
+        self.nbytes = nbytes
+        self.sent_at_us = sim.now
+        self.route: list[Link] = []
+        #: True once the message has fully left the sender's NIC (it is
+        #: propagating): a *sender* crash no longer loses it.
+        self.on_wire = False
+        #: Uncontended-path state machine; None on the contended path.
+        self._state: Optional[_SendState] = None
+        #: Contended-path traversal process; None on the fast path.
+        self._proc = None
+
+    @property
+    def in_flight(self) -> bool:
+        return not self.triggered
+
+
+class _SendState:
+    """Uncontended send lifecycle as explicit callbacks.
+
+    Mirrors :class:`~repro.hw.host._PrepState`: each phase transition
+    checks for a crash-abort that won meanwhile, and a NIC slot granted
+    to an already-dead message is handed straight back — the
+    granted-but-unobserved-slot leak can never happen.
+    """
+
+    __slots__ = ("transport", "msg", "phase")
+
+    def __init__(self, transport: "Transport", msg: Message):
+        self.transport = transport
+        self.msg = msg
+        self.phase = _QUEUED
+
+    def start(self) -> None:
+        nic = self.msg.src.nic
+        if nic.try_acquire():
+            self._begin_hold()
+        else:
+            nic.request().add_callback(self.on_grant)
+
+    def on_grant(self, ev: Event) -> None:
+        msg = self.msg
+        if msg.triggered:
+            # Aborted (crash/timeout) while queued.  A slot that was
+            # nevertheless granted would leak: hand it back.
+            if ev._exc is None:
+                msg.src.nic.release()
+            return
+        if ev._exc is not None:
+            # Queued waiter failed by Host.crash via nic.fail_waiters.
+            self.transport._settle_lost(msg, ev._exc)
+            return
+        self._begin_hold()
+
+    def _begin_hold(self) -> None:
+        self.phase = _HOLDING
+        serialize = self.msg.nbytes / self.transport.config.dcn_bytes_per_us
+        if serialize > 0:
+            self.transport.sim.timeout(serialize).add_callback(self.on_serialized)
+        else:
+            self.on_serialized(None)
+
+    def on_serialized(self, ev: Optional[Event]) -> None:
+        if self.phase != _HOLDING:
+            return  # aborted while serializing; the NIC was released there
+        self.phase = _PROPAGATING
+        self.msg.on_wire = True
+        self.msg.src.nic.release()
+        self.transport.sim.timeout(
+            self.transport.config.dcn_latency_us
+        ).add_callback(self.on_delivered)
+
+    def on_delivered(self, ev: Event) -> None:
+        msg = self.msg
+        self.phase = _SETTLED
+        if not msg.triggered:
+            msg.succeed(None)
+
+    def abort(self, cause: BaseException) -> None:
+        if self.msg.triggered:
+            return
+        if self.phase == _HOLDING:
+            # Mid-serialization: give the NIC back (no capacity leak);
+            # the stale serialization timer no-ops on the phase check.
+            self.msg.src.nic.release()
+        self.phase = _SETTLED
+        self.msg.fail(cause)
+
+
+class Transport:
+    """Uniform cross-host send/rpc/bulk/collective API over the fabric.
+
+    With ``fabric=None`` (or ``config.net_contention=False``) behaves as
+    the historical point-to-point DCN cost model; with contention on,
+    messages traverse their routes hop by hop under link contention.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        config: SystemConfig,
+        fabric: Optional[Fabric] = None,
+    ):
+        self.sim = sim
+        self.config = config
+        self.fabric = fabric
+        self.messages_sent = 0
+        self.bytes_sent = 0
+        #: Same-host sends skip the network entirely; counted separately
+        #: so NIC-throughput accounting is not skewed by loopbacks.
+        self.loopback_messages = 0
+        self.loopback_bytes = 0
+        self.messages_delivered = 0
+        self.bytes_delivered = 0
+        self.messages_lost = 0
+        self.retransmits = 0
+        #: In-flight messages per endpoint host id (crash invalidation).
+        #: Inner dicts are insertion-ordered sets: crash invalidation
+        #: walks messages in send order, keeping schedules deterministic
+        #: (a hash set would iterate by object address).
+        self._in_flight: dict[int, dict[Message, None]] = {}
+        #: Hosts whose crash listener is installed.
+        self._watched: set[int] = set()
+        self._loss_listeners: list[Callable[[Message, BaseException], None]] = []
+
+    # -- mode & cost model -------------------------------------------------
+    @property
+    def contended(self) -> bool:
+        return self.fabric is not None and self.config.net_contention
+
+    def transfer_time_us(self, nbytes: int) -> float:
+        """Zero-load point-to-point cost (the uncontended estimate)."""
+        return self.config.dcn_latency_us + nbytes / self.config.dcn_bytes_per_us
+
+    def add_loss_listener(
+        self, fn: Callable[["Message", BaseException], None]
+    ) -> None:
+        """Observe every in-flight message loss (recovery accounting)."""
+        self._loss_listeners.append(fn)
+
+    # -- the send paths -----------------------------------------------------
+    def send(
+        self,
+        src: "Host",
+        dst: "Host",
+        nbytes: int,
+        timeout_us: Optional[float] = None,
+    ) -> Message:
+        """Send ``nbytes`` from ``src`` to ``dst``; returns the message.
+
+        The returned :class:`Message` is an event that fires on delivery
+        and fails with :class:`MessageLost` if an endpoint host crashes
+        while it is in flight (or ``timeout_us`` elapses first).
+        Loopback (src is dst) skips the network entirely.
+        """
+        debug = self.sim.debug_names
+        msg = Message(
+            self.sim, src, dst, nbytes,
+            name=f"dcn:{src.name}->{dst.name}" if debug else "",
+        )
+        if src is dst:
+            self.loopback_messages += 1
+            self.loopback_bytes += nbytes
+            msg.succeed(None)
+            return msg
+        self.messages_sent += 1
+        self.bytes_sent += nbytes
+        if src.failed or dst.failed:
+            down = src if src.failed else dst
+            cause = MessageLost(msg, f"host {down.name} is down")
+            msg.fail(cause)
+            self._count_loss(msg, cause)
+            return msg
+        self._track(msg)
+        if self.contended:
+            msg.route = self.fabric.route(src, dst)
+            msg._proc = self.sim.process(
+                self._traverse(msg),
+                name=f"net_send:{src.name}->{dst.name}" if debug else "",
+            )
+        else:
+            state = msg._state = _SendState(self, msg)
+            state.start()
+        if timeout_us is None and self.config.net_message_timeout_us > 0:
+            timeout_us = self.config.net_message_timeout_us
+        if timeout_us is not None and timeout_us > 0:
+            self.sim.timeout(timeout_us).add_callback(
+                lambda ev, m=msg: self._on_timeout(m)
+            )
+        return msg
+
+    def rpc(self, src: "Host", dst: "Host", nbytes: int = 256) -> Message:
+        """A small control-plane message (scheduling, data handles)."""
+        return self.send(src, dst, nbytes)
+
+    def bulk_transfer(
+        self, transfers: Iterable[tuple["Host", "Host", int]]
+    ) -> Event:
+        """Fire a batch of sends in parallel; fires when all delivered.
+
+        Fails fast with the first :class:`MessageLost` (callers that
+        need per-message outcomes should issue sends individually).
+        """
+        messages = [self.send(s, d, n) for s, d, n in transfers]
+        if not messages:
+            return self.sim.completed(None)
+        if len(messages) == 1:
+            return messages[0]
+        return self.sim.all_of(messages)
+
+    def send_reliable(
+        self,
+        src: "Host",
+        dst: "Host",
+        nbytes: int,
+        timeout_us: Optional[float] = None,
+        max_attempts: int = 8,
+    ) -> Event:
+        """A send that retransmits after loss or timeout.
+
+        Each attempt is a fresh tracked message; between attempts the
+        sender backs off ``config.net_retransmit_backoff_us`` (the
+        window in which a crashed endpoint can restore).  The returned
+        event succeeds with the number of attempts used, or fails with
+        the final :class:`MessageLost` once ``max_attempts`` is spent.
+        """
+        done = Event(
+            self.sim,
+            f"reliable:{src.name}->{dst.name}" if self.sim.debug_names else "",
+        )
+
+        def _proc() -> Generator:
+            last: Optional[BaseException] = None
+            for attempt in range(1, max_attempts + 1):
+                try:
+                    yield self.send(src, dst, nbytes, timeout_us=timeout_us)
+                except MessageLost as exc:
+                    last = exc
+                    self.retransmits += 1
+                    backoff = self.config.net_retransmit_backoff_us
+                    if backoff > 0:
+                        yield self.sim.timeout(backoff)
+                    continue
+                done.succeed(attempt)
+                return
+            done.fail(last)
+
+        self.sim.process(
+            _proc(),
+            name=f"net_reliable:{src.name}->{dst.name}"
+            if self.sim.debug_names
+            else "",
+        )
+        return done
+
+    def make_cross_island_collective(
+        self,
+        participants: int,
+        hosts: Sequence["Host"],
+        nbytes_per_host: int,
+        name: str = "",
+        compute_us: float = 0.0,
+    ) -> "CollectiveRendezvous":
+        """A gang rendezvous whose wire phase is real fabric traffic.
+
+        Once every participant joins, the collective runs as a gather to
+        ``hosts[0]`` followed by a scatter back — every transfer
+        contending on the island uplinks like any other message.  An
+        endpoint crash mid-collective aborts the rendezvous with the
+        :class:`MessageLost`, releasing the surviving gang members into
+        the recovery path instead of wedging them.
+        """
+        from repro.hw.device import CollectiveRendezvous
+
+        hosts = list(hosts)
+        if not hosts:
+            raise ValueError("collective needs at least one host")
+        return CollectiveRendezvous(
+            self.sim,
+            participants,
+            duration_us=0.0,
+            name=name or f"net_collective[{len(hosts)}hx{nbytes_per_host}B]",
+            compute_us=compute_us,
+            wire_fn=lambda: self._collective_wire(hosts, nbytes_per_host),
+        )
+
+    # -- failure integration -------------------------------------------------
+    def fail_in_flight(self, host: "Host", reason: str = "host crash") -> int:
+        """Fail every in-flight message endpointed at ``host``.
+
+        Called automatically via the host's crash listener; exposed for
+        direct use by fault drills.  A message that already left the
+        sender's NIC (uncontended propagation phase) is considered on
+        the wire and is lost only when the *receiver* is the dead host.
+        Returns the number of messages failed.
+        """
+        doomed = []
+        for msg in list(self._in_flight.get(host.host_id, ())):
+            if msg.triggered:
+                continue
+            if host is msg.src and msg.on_wire:
+                # Fully past the dead sender's NIC (uncontended
+                # propagation, or a contended route completely crossed):
+                # on the wire, and the receiver is alive.
+                continue
+            doomed.append(msg)
+        for msg in doomed:
+            self._abort(msg, MessageLost(msg, f"{reason}: {host.name}"))
+        return len(doomed)
+
+    # -- internals -----------------------------------------------------------
+    def _traverse(self, msg: Message) -> Generator:
+        """Contended traversal across the route, then propagation.
+
+        Fair sharing uses the fabric's fluid engine (the message holds
+        its whole route, progressing at the bottleneck share); FIFO
+        store-and-forwards hop by hop.
+        """
+        if self.fabric.sharing == "fair":
+            # The fluid flow spans the whole route (sender NIC included)
+            # until completion, so the message is on the wire only once
+            # the flow has fully drained.
+            yield self.fabric.start_flow(msg, msg.route, msg.nbytes)
+            msg.on_wire = True
+        else:
+            # Store-and-forward: past the first hop (the sender's NIC)
+            # the message is buffered in the network — a sender crash no
+            # longer loses it.
+            for i, link in enumerate(msg.route):
+                yield link.transmit(msg, msg.nbytes)
+                if i == 0:
+                    msg.on_wire = True
+        yield self.sim.timeout(self.config.dcn_latency_us)
+        if not msg.triggered:
+            msg.succeed(None)
+
+    def _collective_wire(self, hosts: list, nbytes: int):
+        def _proc() -> Generator:
+            root = hosts[0]
+            gather = [self.send(h, root, nbytes) for h in hosts[1:]]
+            if gather:
+                yield self.sim.all_of(gather)
+            scatter = [self.send(root, h, nbytes) for h in hosts[1:]]
+            if scatter:
+                yield self.sim.all_of(scatter)
+
+        return self.sim.process(
+            _proc(), name="net_collective_wire" if self.sim.debug_names else ""
+        )
+
+    def _track(self, msg: Message) -> None:
+        for host in (msg.src, msg.dst):
+            self._in_flight.setdefault(host.host_id, {})[msg] = None
+            if host.host_id not in self._watched:
+                self._watched.add(host.host_id)
+                host.add_crash_listener(self.fail_in_flight)
+        msg.add_callback(self._on_settled)
+
+    def _on_settled(self, ev: Event) -> None:
+        msg: Message = ev  # tracked events are always Messages
+        for host in (msg.src, msg.dst):
+            in_flight = self._in_flight.get(host.host_id)
+            if in_flight is not None:
+                in_flight.pop(msg, None)
+        if ev._exc is None:
+            self.messages_delivered += 1
+            self.bytes_delivered += msg.nbytes
+        else:
+            self._count_loss(msg, ev._exc)
+
+    def _count_loss(self, msg: Message, cause: BaseException) -> None:
+        self.messages_lost += 1
+        for fn in self._loss_listeners:
+            fn(msg, cause)
+
+    def _on_timeout(self, msg: Message) -> None:
+        if not msg.triggered:
+            self._abort(msg, MessageLost(msg, "delivery timeout"))
+
+    def _abort(self, msg: Message, cause: MessageLost) -> None:
+        """Fail one in-flight message, releasing all held capacity."""
+        if msg.triggered:
+            return
+        if msg._state is not None:
+            msg._state.abort(cause)
+            return
+        if self.fabric is not None and self.fabric.sharing == "fair":
+            self.fabric.abort_flow(msg)
+        for link in msg.route:
+            link.abort(msg)
+        proc = msg._proc
+        if proc is not None and not proc.triggered:
+            proc.interrupt(cause)
+        msg.fail(cause)
+
+    def _settle_lost(self, msg: Message, cause: BaseException) -> None:
+        """Fail a message whose NIC wait was failed underneath it."""
+        if msg.triggered:
+            return
+        if not isinstance(cause, MessageLost):
+            cause = MessageLost(msg, repr(cause))
+        msg.fail(cause)

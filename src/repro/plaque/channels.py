@@ -9,7 +9,8 @@ completion signal.
 messages "destined for the same host [are batched] when high throughput
 is required" while critical messages still go out with low latency
 (paper §4.3): sends within a small window to the same destination host
-coalesce into one DCN message; a zero window degenerates to eager sends.
+coalesce into one message on the routed transport (:mod:`repro.net`); a
+zero window degenerates to eager sends.
 """
 
 from __future__ import annotations
@@ -19,7 +20,7 @@ from typing import Any, Generator, Optional
 
 from repro.config import SystemConfig
 from repro.hw.host import Host
-from repro.hw.interconnect import DCN
+from repro.net import Transport
 from repro.sim import Event, Simulator, Store
 
 from repro.plaque.progress import ProgressTracker
@@ -90,19 +91,34 @@ class ShardedChannel:
         return self.progress.shard_complete(dst_shard)
 
 
+def _settle_arrival(arrival: Event, sent: Event) -> None:
+    """Mirror a transport message's outcome onto a channel arrival event
+    (delivery succeeds it; a lost message — host crash — fails it)."""
+    if arrival.triggered:
+        return
+    if sent._exc is not None:
+        arrival.fail(sent._exc)
+    else:
+        arrival.succeed(None)
+
+
 class BatchingDcnChannel:
     """Coalesces small control messages to the same destination host.
 
     The first message to a destination opens a window of
     ``config.dcn_batch_window_us``; everything queued for that host
-    within the window rides one DCN send.  Each message's ``deliver``
-    callback runs on arrival.  Statistics expose the batching ratio so
-    the test suite can assert amortization actually happens.
+    within the window rides one transport send (one routed message —
+    batching amortizes per-message latency *and* fabric load).  Each
+    message's ``deliver`` callback runs on arrival.  Statistics expose
+    the batching ratio so the test suite can assert amortization
+    actually happens.
     """
 
-    def __init__(self, sim: Simulator, dcn: DCN, config: SystemConfig, src: Host):
+    def __init__(
+        self, sim: Simulator, transport: Transport, config: SystemConfig, src: Host
+    ):
         self.sim = sim
-        self.dcn = dcn
+        self.transport = transport
         self.config = config
         self.src = src
         self._pending: dict[int, list[tuple[int, Event]]] = {}
@@ -117,8 +133,8 @@ class BatchingDcnChannel:
         window = self.config.dcn_batch_window_us
         if window <= 0 or dst is self.src:
             self.physical_messages += 1
-            self.dcn.send(self.src, dst, nbytes).add_callback(
-                lambda ev: arrival.succeed(None)
+            self.transport.send(self.src, dst, nbytes).add_callback(
+                lambda ev: _settle_arrival(arrival, ev)
             )
             return arrival
         key = dst.host_id
@@ -136,10 +152,19 @@ class BatchingDcnChannel:
         dst = self._dst_hosts.pop(key)
         total = sum(nb for nb, _ in batch)
         self.physical_messages += 1
-        done = self.dcn.send(self.src, dst, total)
-        yield done
+        done = self.transport.send(self.src, dst, total)
+        try:
+            yield done
+        except Exception as exc:  # noqa: BLE001 - message lost (host crash)
+            # Every coalesced message rode the lost send: fail all their
+            # arrivals so waiters observe the loss instead of wedging.
+            for _, arrival in batch:
+                if not arrival.triggered:
+                    arrival.fail(exc)
+            return
         for _, arrival in batch:
-            arrival.succeed(None)
+            if not arrival.triggered:
+                arrival.succeed(None)
 
     @property
     def batching_ratio(self) -> float:

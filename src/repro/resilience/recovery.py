@@ -70,6 +70,11 @@ class RecoveryManager:
         self.repairs = 0
         self.remaps = 0
         self.programs_recovered = 0
+        #: In-flight DCN messages lost to crashes/timeouts: the transport
+        #: reports every loss here so recovery sweeps can attribute
+        #: route-loss replays alongside device/host faults.
+        self.messages_lost = 0
+        system.transport.add_loss_listener(self._on_message_lost)
         system.recovery = self
 
     # -- fault injection entry point ----------------------------------------
@@ -229,6 +234,9 @@ class RecoveryManager:
         self.programs_recovered += 1
 
     # -- helpers -------------------------------------------------------------
+    def _on_message_lost(self, message, cause) -> None:
+        self.messages_lost += 1
+
     def _readmit(self, device: Device) -> None:
         """Tell the island scheduler a restarted device is schedulable
         again (clears any stale granted-work accounting)."""

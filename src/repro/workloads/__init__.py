@@ -7,9 +7,12 @@
   time-sharing one island (Figures 8, 9).
 * :mod:`repro.workloads.churn` — multi-tenant training under
   failure/repair churn (the resilience scenario family).
+* :mod:`repro.workloads.netload` — cross-island bulk traffic contending
+  with probe dispatch on the routed fabric (congestion, route loss).
 """
 
 from repro.workloads.churn import ChurnResult, run_churn
+from repro.workloads.netload import NetCongestionResult, run_net_congestion
 from repro.workloads.microbench import (
     MicrobenchResult,
     run_jax,
@@ -26,8 +29,10 @@ from repro.workloads.multitenant import (
 __all__ = [
     "ChurnResult",
     "MicrobenchResult",
+    "NetCongestionResult",
     "run_churn",
     "run_jax",
+    "run_net_congestion",
     "run_jax_multitenant",
     "run_pathways",
     "run_pathways_multitenant",

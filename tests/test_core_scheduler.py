@@ -6,6 +6,7 @@ import pytest
 
 from repro.config import DEFAULT_CONFIG
 from repro.core.scheduler import (
+    DeadlineExceeded,
     GangRequest,
     IslandScheduler,
     ProportionalSharePolicy,
@@ -206,3 +207,143 @@ class TestProportionalShare:
             ]
             counts[policy.pick(pending).client] += 1
         assert counts["known"] / counts["unknown"] == pytest.approx(2.0, rel=0.1)
+
+
+class TestDeadlineEviction:
+    def test_expired_pending_gang_is_evicted(self, sim):
+        """A gang still queued when its deadline passes leaves through
+        the eviction path: grant fails with DeadlineExceeded, surviving
+        work is untouched, and later submissions still grant."""
+        cfg = DEFAULT_CONFIG.with_overrides(scheduler_queue_depth=1)
+        sched = make_scheduler(sim, config=cfg)
+        outcomes = {}
+
+        def hog():
+            req = sched.submit("hog", "p", "hog", cost_us=500.0, device_ids=(0,))
+            yield req.grant
+            req.enqueued_ack.succeed(None)
+            yield sim.timeout(500.0)
+            sched.complete(req)
+
+        def bounded():
+            # Queue depth 1 keeps this pending behind the hog until
+            # t=500; its deadline expires at t=100.
+            req = sched.submit(
+                "late", "p", "late", cost_us=10.0, device_ids=(0,),
+                deadline_at_us=100.0,
+            )
+            try:
+                yield req.grant
+            except DeadlineExceeded as exc:
+                outcomes["late"] = exc
+                return
+            outcomes["late"] = "granted"
+            req.enqueued_ack.succeed(None)
+            sched.complete(req)
+
+        def after():
+            yield sim.timeout(600.0)
+            req = sched.submit("after", "p", "after", cost_us=1.0, device_ids=(0,))
+            yield req.grant
+            outcomes["after"] = sim.now
+            req.enqueued_ack.succeed(None)
+            sched.complete(req)
+
+        sim.process(hog())
+        sim.process(bounded())
+        sim.process(after())
+        sim.run()
+        assert isinstance(outcomes["late"], DeadlineExceeded)
+        assert sched.deadline_evictions == 1
+        # The scheduler keeps granting after the eviction.
+        assert outcomes["after"] >= 600.0
+
+    def test_deadline_met_has_no_effect(self, sim):
+        sched = make_scheduler(sim)
+        done = {}
+
+        def unit():
+            req = sched.submit(
+                "c", "p", "n", cost_us=5.0, device_ids=(0,),
+                deadline_at_us=10_000.0,
+            )
+            yield req.grant
+            req.enqueued_ack.succeed(None)
+            yield sim.timeout(5.0)
+            sched.complete(req)
+            done["ok"] = True
+
+        sim.process(unit())
+        sim.run()
+        assert done["ok"] and sched.deadline_evictions == 0
+
+    def test_granted_gang_not_killed_by_deadline(self, sim):
+        """Deadlines bound time-to-grant only: a gang already running on
+        its (non-preemptible) devices is never killed."""
+        sched = make_scheduler(sim)
+        done = {}
+
+        def unit():
+            req = sched.submit(
+                "c", "p", "n", cost_us=500.0, device_ids=(0,),
+                deadline_at_us=50.0,  # expires mid-execution
+            )
+            yield req.grant
+            req.enqueued_ack.succeed(None)
+            yield sim.timeout(500.0)
+            sched.complete(req)
+            done["ok"] = True
+
+        sim.process(unit())
+        sim.run()
+        assert done["ok"] and sched.deadline_evictions == 0
+
+    def test_client_deadline_threads_to_execution(self):
+        """client.submit(deadline_us=...) bounds a whole execution's
+        time-to-grant; an expired gang abandons the execution (it is
+        not replayed — the deadline would expire again)."""
+        from repro.core.dispatch import ExecutionAbandoned
+        from repro.core.system import PathwaysSystem
+        from repro.hw.cluster import ClusterSpec
+        from repro.resilience import RecoveryManager
+        from repro.xla.computation import scalar_allreduce_add
+
+        system = PathwaysSystem.build(
+            ClusterSpec(islands=((1, 2),), name="deadline"),
+            config=DEFAULT_CONFIG.with_overrides(scheduler_queue_depth=1),
+        )
+        RecoveryManager(system)
+        client = system.client("tenant")
+        devs = system.make_virtual_device_set().add_slice(tpu_devices=2)
+        step = client.wrap(
+            scalar_allreduce_add(2, 50_000.0, name="hog"), devices=devs
+        )
+        fast = client.wrap(
+            scalar_allreduce_add(2, 10.0, name="fast"), devices=devs
+        )
+        results = {}
+
+        def driver():
+            hog = client.submit(step.solo_program, (0.0,), compute_values=False)
+            # Give the hog time to occupy the queue depth, then submit a
+            # deadline-bounded execution that cannot be granted in time.
+            yield system.sim.timeout(5_000.0)
+            bounded = client.submit(
+                fast.solo_program,
+                (0.0,),
+                compute_values=False,
+                retry_on_failure=True,
+                deadline_us=1_000.0,
+            )
+            try:
+                yield bounded.finished
+            except ExecutionAbandoned as exc:
+                results["abandoned"] = exc
+            yield hog.done
+
+        system.sim.process(driver())
+        system.sim.run()
+        abandoned = results["abandoned"]
+        assert isinstance(abandoned.cause, DeadlineExceeded)
+        sched = system._schedulers[0]
+        assert sched.deadline_evictions >= 1

@@ -16,6 +16,7 @@ import pytest
 
 from repro.sim import Event, Simulator
 from repro.workloads.churn import run_churn
+from repro.workloads.netload import run_net_congestion
 
 #: Small but eventful: 2 resilient tenants, device churn, checkpoints,
 #: remaps — every hot path of the engine fires.
@@ -75,6 +76,57 @@ class TestGoldenEventOrder:
         assert r_plain.elapsed_us == r_named.elapsed_us
         assert r_plain.useful_steps == r_named.useful_steps
         assert r_plain.per_client_steps == r_named.per_client_steps
+
+
+#: Contended-fabric scenario: fluid fair-share flows over the island
+#: uplink, probe dispatch through the congested fabric, a sender-host
+#: crash with in-flight message loss, retransmits, and recovery — every
+#: hot path of the repro.net layer fires.
+NET_KWARGS = dict(
+    n_senders=2,
+    streams=2,
+    hosts_per_island=2,
+    devices_per_host=2,
+    duration_us=30_000.0,
+    n_probes=3,
+    crash_sender_at=8_000.0,
+    crash_repair_us=6_000.0,
+)
+
+
+def _golden_net_run(debug_names: bool):
+    result = run_net_congestion(
+        debug_names=debug_names, log_schedule=True, **NET_KWARGS
+    )
+    sim = result.system_handle.sim
+    schedule = [
+        (t, seq, re.sub(r"#\d+", "#N", name))
+        for seq, (t, name) in enumerate(sim.schedule_log)
+    ]
+    return schedule, result
+
+
+class TestGoldenContendedFabric:
+    @pytest.mark.parametrize("debug_names", [False, True])
+    def test_two_runs_identical_schedule(self, debug_names):
+        first, r1 = _golden_net_run(debug_names)
+        second, r2 = _golden_net_run(debug_names)
+        assert len(first) > 300
+        assert first == second
+        assert r1.elapsed_us == r2.elapsed_us
+        assert r1.bytes_delivered == r2.bytes_delivered
+        assert r1.messages_lost == r2.messages_lost
+        assert r1.probe_latency_us == r2.probe_latency_us
+
+    def test_debug_names_do_not_affect_scheduling(self):
+        plain, r_plain = _golden_net_run(debug_names=False)
+        named, r_named = _golden_net_run(debug_names=True)
+        assert [(t, seq) for t, seq, _ in plain] == [
+            (t, seq) for t, seq, _ in named
+        ]
+        assert r_plain.elapsed_us == r_named.elapsed_us
+        assert r_plain.bytes_delivered == r_named.bytes_delivered
+        assert r_plain.messages_lost == r_named.messages_lost
 
 
 class TestHotPathPrimitives:
