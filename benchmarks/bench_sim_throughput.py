@@ -20,6 +20,7 @@ from repro.bench.wallclock import WallclockRecorder
 from repro.workloads.churn import run_churn
 from repro.workloads.microbench import run_jax, run_pathways
 from repro.workloads.netload import run_net_congestion
+from repro.workloads.serving import run_serving
 
 #: Config-B scale: 8 TPUs/host, 2..64 hosts (512 cores at the top).
 HOSTS = geometric_range(2, 64, smoke_stop=8)
@@ -103,6 +104,33 @@ def sweep() -> WallclockRecorder:
         sim_us=lambda r: r.elapsed_us,
     )
     assert net.fabric_idle and net.probe_failures == 0
+    # Serving point: open-loop Poisson traffic through the repro.serve
+    # stack (frontend admission, continuous batching, deadline-armed
+    # gangs, a replica-loss recovery) over the contended fabric — the
+    # serving hot path is regression-gated exactly like the engine and
+    # network rows.
+    serve = rec.measure(
+        "SERVE", 2,
+        lambda: run_serving(
+            rate_rps=600.0,
+            duration_us=120_000.0,
+            islands=2,
+            hosts_per_island=2,
+            devices_per_host=4,
+            n_replicas=2,
+            devices_per_replica=4,
+            max_batch=8,
+            slo_us=50_000.0,
+            contention=True,
+            fail_replica_at=50_000.0,
+            repair_us=30_000.0,
+            seed=3,
+        ),
+        events=lambda r: r.system_handle.sim.events_processed,
+        sim_us=lambda r: r.elapsed_us,
+    )
+    assert serve.abandoned == 0 and serve.completed > 0
+    assert serve.recoveries >= 1 and serve.fabric_idle
     return rec
 
 
@@ -121,7 +149,7 @@ def test_sim_throughput():
         )
     # The Figure-5 dispatch sweep on its own (the headline ≥5× speedup
     # quantity) and the overall total including the churn + network points.
-    fig5 = [p for p in rec.points if p.series not in ("CHURN-A", "NET-C")]
+    fig5 = [p for p in rec.points if p.series not in ("CHURN-A", "NET-C", "SERVE")]
     fig5_wall = sum(p.wall_s for p in fig5)
     fig5_events = sum(p.events for p in fig5)
     table.add_row(

@@ -70,6 +70,11 @@ class SystemConfig:
     net_message_timeout_us: float = 0.0
     #: Backoff between retransmit attempts of a reliable send.
     net_retransmit_backoff_us: float = 500.0
+    #: How much per-link busy history the fabric keeps for the
+    #: :meth:`repro.net.Fabric.utilization` sliding window — the signal
+    #: the serving autoscaler (and, later, congestion-aware placement)
+    #: reads.  Queries may use any window up to this long.
+    net_util_window_us: float = 100_000.0
 
     # --- Inter-chip interconnect (ICI) ----------------------------------
     ici_latency_us: float = 1.0           # per hop

@@ -102,6 +102,16 @@ class PathwaysClient:
         self.controller = Resource(system.sim, capacity=1, name=f"controller[{name}]")
         self._lowered: dict[int, LowLevelProgram] = {}
         self.programs_submitted = 0
+        #: Typed rejection accounting: executions (counted once each)
+        #: that lost a gang to the scheduler's deadline-eviction path
+        #: (:class:`~repro.core.scheduler.DeadlineExceeded`).  Callers
+        #: read this — and ``execution.deadline_exceeded`` — instead of
+        #: string-matching failure causes.
+        self.deadline_rejections = 0
+        #: Retry-mode executions that gave up entirely
+        #: (:class:`~repro.core.dispatch.ExecutionAbandoned`), whatever
+        #: the cause; disjoint bookkeeping from deadline rejections.
+        self.executions_abandoned = 0
 
     # -- wrapping & tracing --------------------------------------------------
     def wrap(self, fn: CompiledFunction, devices: VirtualSlice) -> PwCallable:

@@ -33,6 +33,7 @@ from repro.core.futures import PathwaysFuture
 from repro.core.ir import LowLevelNode, LowLevelProgram, TransferRoute
 from repro.core.object_store import MemorySpace, ObjectHandle
 from repro.core.program import unflatten
+from repro.core.scheduler import DeadlineExceeded
 from repro.hw.device import unwrap_fault
 from repro.sim import Event
 
@@ -104,6 +105,11 @@ class ProgramExecution:
             self.sim.now + deadline_us if deadline_us is not None else None
         )
         self.attempts = 0
+        #: True once any of this execution's gangs was evicted by the
+        #: scheduler's deadline path — the typed signal (mirrored into
+        #: ``client.deadline_rejections``) that spares callers from
+        #: string-matching the failure cause.
+        self.deadline_exceeded = False
         self.exec_id = next(_exec_ids)
         self.name = f"{low.name}#{self.exec_id}"
         debug = self.sim.debug_names
@@ -227,6 +233,7 @@ class ProgramExecution:
                 # Out of budget, no recovery attached, or the loss is not
                 # a hardware fault at all (e.g. DeadlineExceeded —
                 # replaying would just expire again): abandon.
+                self.client.executions_abandoned += 1
                 self.finished.fail(ExecutionAbandoned(self.name, self.attempts, failure))
                 return
             cause, failure = failure, None
@@ -242,6 +249,7 @@ class ProgramExecution:
                     # as in parallel mode.
                     failure = exc
                 else:  # remap exhausted, etc.
+                    self.client.executions_abandoned += 1
                     self.finished.fail(
                         ExecutionAbandoned(self.name, self.attempts, exc)
                     )
@@ -310,6 +318,7 @@ class ProgramExecution:
         except Exception as exc:  # noqa: BLE001 - grant evicted / prep lost
             # Settle the node's completion event so supervisors observe
             # the loss instead of waiting forever.
+            self._note_deadline(exc)
             if not ex.all_kernels_done.triggered:
                 ex.all_kernels_done.fail(exc)
             return
@@ -358,6 +367,7 @@ class ProgramExecution:
             except Exception as exc:  # noqa: BLE001 - prep lost / grant evicted
                 # Settle the node's completion event before propagating,
                 # or the recovery quiesce would wait on it forever.
+                self._note_deadline(exc)
                 if not ex.all_kernels_done.triggered:
                     ex.all_kernels_done.fail(exc)
                 raise
@@ -540,6 +550,16 @@ class ProgramExecution:
                     None if fr or h.freed else self.system.object_store.release(h)
                 )
             )
+
+    def _note_deadline(self, exc: BaseException) -> None:
+        """Record a deadline eviction as a typed per-client rejection.
+
+        Counted once per execution even when several of its gangs expire
+        (each node submits its own gang against the shared deadline).
+        """
+        if isinstance(exc, DeadlineExceeded) and not self.deadline_exceeded:
+            self.deadline_exceeded = True
+            self.client.deadline_rejections += 1
 
     # -- failure recovery -----------------------------------------------------
     def _abort_unsettled(self, exc: BaseException) -> None:

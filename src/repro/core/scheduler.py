@@ -20,6 +20,7 @@ Scheduling happens at millisecond timescales; each decision costs
 from __future__ import annotations
 
 import itertools
+import math
 from dataclasses import dataclass, field
 from typing import Generator, Optional, Protocol
 
@@ -30,6 +31,7 @@ from repro.sim import Event, Simulator, Store
 
 __all__ = [
     "DeadlineExceeded",
+    "EarliestDeadlinePolicy",
     "FifoPolicy",
     "GangRequest",
     "IslandScheduler",
@@ -131,6 +133,31 @@ class ProportionalSharePolicy:
 
     def __repr__(self) -> str:
         return f"ProportionalSharePolicy({self.weights})"
+
+
+class EarliestDeadlinePolicy:
+    """EDF for latency-class gangs: the pending request with the nearest
+    deadline is sequenced first; deadline-free (best-effort) requests
+    run behind every latency-class gang, in arrival order.
+
+    The policy online serving installs on its islands: a just-admitted
+    request with little SLO budget left overtakes queued work that can
+    still afford to wait, which lowers deadline evictions without ever
+    killing granted gangs (eviction semantics are unchanged — this only
+    reorders *pending* work).
+    """
+
+    def pick(self, pending: list[GangRequest]) -> GangRequest:
+        return min(
+            pending,
+            key=lambda r: (
+                r.deadline_at_us if r.deadline_at_us is not None else math.inf,
+                r.seq,
+            ),
+        )
+
+    def __repr__(self) -> str:
+        return "EarliestDeadlinePolicy()"
 
 
 class IslandScheduler:

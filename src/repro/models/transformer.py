@@ -10,7 +10,7 @@ formulas.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Literal
+from typing import Literal, Optional
 
 __all__ = [
     "DECODER_136B",
@@ -64,6 +64,42 @@ class TransformerConfig:
     def activation_bytes_per_token(self, dtype_bytes: int = 2) -> int:
         """Bytes of the layer-boundary activation for one token."""
         return self.d_model * dtype_bytes
+
+    # -- inference (the serving subsystem's cost model) --------------------
+    def infer_flops(self, prompt_tokens: int, gen_tokens: int) -> float:
+        """FLOPs of one inference-mode step for a single request:
+        prefill over the prompt plus autoregressive decode, both at the
+        2·N-per-token forward rule (no backward pass)."""
+        return self.forward_flops_per_token() * (prompt_tokens + gen_tokens)
+
+    def infer_step_time_us(
+        self,
+        tokens: int,
+        n_devices: int,
+        flops_per_us: float,
+        efficiency: float,
+        params: Optional[int] = None,
+    ) -> float:
+        """Time of one inference-mode transformer step over ``tokens``
+        total batched tokens on ``n_devices`` model-parallel cores.
+
+        Linear in the batched token count: continuous batching works
+        because decoding requests coalesced into one gang amortize the
+        per-step weight traffic — the same reason the dense-layer
+        efficiency factor applies.  ``params`` overrides the model's
+        parameter count (the serving stack's ``nominal_params`` knob,
+        mirroring the trainers).
+        """
+        if n_devices < 1:
+            raise ValueError(f"need >= 1 device, got {n_devices}")
+        if tokens < 0:
+            raise ValueError(f"negative token count {tokens}")
+        n = params if params is not None else self.params
+        return 2.0 * n * tokens / (n_devices * flops_per_us * efficiency)
+
+    def kv_cache_bytes_per_token(self, dtype_bytes: int = 2) -> int:
+        """Per-token KV-cache footprint (keys + values, every layer)."""
+        return 2 * self.n_total_layers * self.d_model * dtype_bytes
 
     def gradient_bytes(self, dtype_bytes: int = 4) -> int:
         """Full-model gradient size (f32 by default)."""

@@ -14,6 +14,13 @@ on routes every message across contended links.
 """
 
 from repro.net.fabric import Fabric, Link
-from repro.net.transport import Message, MessageLost, Transport
+from repro.net.transport import Message, MessageLost, Transport, TransportStats
 
-__all__ = ["Fabric", "Link", "Message", "MessageLost", "Transport"]
+__all__ = [
+    "Fabric",
+    "Link",
+    "Message",
+    "MessageLost",
+    "Transport",
+    "TransportStats",
+]

@@ -67,12 +67,21 @@ class Link:
         "flows_aborted",
         "max_concurrency",
         "fluid_flows",
+        "util_window_us",
         "_gen",
         "_queue",
         "_active",
+        "_busy_since",
+        "_busy_log",
     )
 
-    def __init__(self, sim: Simulator, bytes_per_us: float, name: str = ""):
+    def __init__(
+        self,
+        sim: Simulator,
+        bytes_per_us: float,
+        name: str = "",
+        util_window_us: float = 100_000.0,
+    ):
         if bytes_per_us <= 0:
             raise ValueError(f"link bandwidth must be positive, got {bytes_per_us}")
         self.sim = sim
@@ -84,10 +93,17 @@ class Link:
         self.max_concurrency = 0
         #: Live fluid flows crossing this link (maintained by Fabric).
         self.fluid_flows = 0
+        #: How far back :meth:`busy_fraction` can look; older busy
+        #: intervals are dropped so the log stays bounded.
+        self.util_window_us = util_window_us
         #: Guards stale FIFO completion timers across aborts.
         self._gen = 0
         self._queue: Deque[list] = deque()
         self._active: Optional[list] = None
+        #: Start of the current busy period (None while idle) plus the
+        #: closed [start, end] busy intervals inside the window.
+        self._busy_since: Optional[float] = None
+        self._busy_log: Deque[list] = deque()
 
     # -- introspection ----------------------------------------------------
     @property
@@ -105,6 +121,60 @@ class Link:
         c = self.concurrency
         if c > self.max_concurrency:
             self.max_concurrency = c
+
+    # -- busy-time accounting (the utilization snapshot API) ----------------
+    def _sync_busy(self) -> None:
+        """Fold the carrying/idle transition into the busy log.
+
+        Called after every occupancy change.  A link is *busy* while it
+        is actually carrying traffic — an active FIFO crossing or at
+        least one fluid flow; FIFO-queued entries waiting their turn do
+        not count (the link is still moving someone else's bytes, which
+        that crossing's own busy period already records).
+        """
+        busy = self._active is not None or self.fluid_flows > 0
+        now = self.sim.now
+        if busy:
+            if self._busy_since is None:
+                self._busy_since = now
+            return
+        start, self._busy_since = self._busy_since, None
+        if start is None or now <= start:
+            return
+        log = self._busy_log
+        if log and start <= log[-1][1]:
+            # Contiguous with (or overlapping) the previous interval —
+            # merge so back-to-back flows cost one log entry.
+            log[-1][1] = now
+        else:
+            log.append([start, now])
+        horizon = now - self.util_window_us
+        while log and log[0][1] < horizon:
+            log.popleft()
+
+    def busy_fraction(
+        self, window_us: Optional[float] = None, now: Optional[float] = None
+    ) -> float:
+        """Fraction of the trailing window this link carried traffic.
+
+        ``window_us`` is clamped to :attr:`util_window_us` (history is
+        only kept that long) and to the elapsed simulation time, so an
+        early query reports the fraction of time that actually passed.
+        """
+        if now is None:
+            now = self.sim.now
+        window = self.util_window_us if window_us is None else window_us
+        window = min(window, self.util_window_us)
+        lo = max(0.0, now - window)
+        span = now - lo
+        if span <= 0:
+            return 1.0 if self._busy_since is not None else 0.0
+        busy = 0.0
+        for start, end in self._busy_log:
+            busy += max(0.0, min(end, now) - max(start, lo))
+        if self._busy_since is not None:
+            busy += now - max(self._busy_since, lo)
+        return min(1.0, busy / span)
 
     # -- FIFO store-and-forward -------------------------------------------
     def transmit(self, key, nbytes: int) -> Event:
@@ -137,6 +207,7 @@ class Link:
             self._active = None
             self.flows_aborted += 1
             self._start_next()
+            self._sync_busy()
             return True
         for entry in self._queue:
             if entry[0] is key:
@@ -148,6 +219,7 @@ class Link:
     def _start(self, entry: list) -> None:
         self._active = entry
         self._note_concurrency()
+        self._sync_busy()
         self._gen += 1
         gen = self._gen
         self.sim.timeout(entry[1] / self.bytes_per_us).add_callback(
@@ -164,10 +236,21 @@ class Link:
         if not ev.triggered:
             ev.succeed(None)
         self._start_next()
+        self._sync_busy()
 
     def _start_next(self) -> None:
         if self._active is None and self._queue:
             self._start(self._queue.popleft())
+
+    # -- fluid-flow membership (driven by Fabric) ---------------------------
+    def fluid_enter(self) -> None:
+        self.fluid_flows += 1
+        self._note_concurrency()
+        self._sync_busy()
+
+    def fluid_exit(self) -> None:
+        self.fluid_flows -= 1
+        self._sync_busy()
 
 
 class _Flow:
@@ -220,6 +303,7 @@ class Fabric:
                 self.sim,
                 self.config.dcn_bytes_per_us,
                 name=f"nic_tx[h{host.host_id}]",
+                util_window_us=self.config.net_util_window_us,
             )
         return link
 
@@ -230,6 +314,7 @@ class Fabric:
                 self.sim,
                 self.config.net_rx_bytes_per_us,
                 name=f"nic_rx[h{host.host_id}]",
+                util_window_us=self.config.net_util_window_us,
             )
         return link
 
@@ -240,6 +325,7 @@ class Fabric:
                 self.sim,
                 self.config.net_island_uplink_bytes_per_us,
                 name=f"uplink_tx[i{island_id}]",
+                util_window_us=self.config.net_util_window_us,
             )
         return link
 
@@ -250,6 +336,7 @@ class Fabric:
                 self.sim,
                 self.config.net_island_uplink_bytes_per_us,
                 name=f"uplink_rx[i{island_id}]",
+                util_window_us=self.config.net_util_window_us,
             )
         return link
 
@@ -257,7 +344,10 @@ class Fabric:
     def spine(self) -> Link:
         if self._spine is None:
             self._spine = Link(
-                self.sim, self.config.net_spine_bytes_per_us, name="spine"
+                self.sim,
+                self.config.net_spine_bytes_per_us,
+                name="spine",
+                util_window_us=self.config.net_util_window_us,
             )
         return self._spine
 
@@ -293,8 +383,7 @@ class Fabric:
         flow = _Flow(key, route, nbytes, ev)
         self._flows[key] = flow
         for link in route:
-            link.fluid_flows += 1
-            link._note_concurrency()
+            link.fluid_enter()
         self._recompute_rates()
         self._arm_timer()
         return ev
@@ -307,7 +396,7 @@ class Fabric:
         self._advance()
         del self._flows[key]
         for link in flow.route:
-            link.fluid_flows -= 1
+            link.fluid_exit()
             link.flows_aborted += 1
         self._recompute_rates()
         self._arm_timer()
@@ -349,7 +438,7 @@ class Fabric:
         for flow in finished:
             del self._flows[flow.key]
             for link in flow.route:
-                link.fluid_flows -= 1
+                link.fluid_exit()
                 link.bytes_carried += flow.nbytes
                 link.flows_completed += 1
             if not flow.ev.triggered:
@@ -380,3 +469,30 @@ class Fabric:
 
     def busy_links(self) -> list[Link]:
         return [link for link in self.links() if not link.idle]
+
+    def utilization(self, window_us: Optional[float] = None) -> dict[str, float]:
+        """Per-link busy fraction over the trailing sliding window.
+
+        Keys are link names (``nic_tx[h0]``, ``uplink_rx[i1]``,
+        ``spine``, ...); values are the fraction of the last
+        ``window_us`` (default, and at most, the config's
+        ``net_util_window_us``) the link spent carrying traffic.  The
+        serving autoscaler reads this to prefer islands with idle
+        uplinks, and it is the seed signal for congestion-aware
+        placement.
+        """
+        now = self.sim.now
+        return {
+            link.name: link.busy_fraction(window_us, now)
+            for link in self.links()
+        }
+
+    def uplink_utilization(
+        self, island_id: int, window_us: Optional[float] = None
+    ) -> float:
+        """Busier direction of one island's uplink pair (0.0..1.0)."""
+        now = self.sim.now
+        return max(
+            self.uplink_tx(island_id).busy_fraction(window_us, now),
+            self.uplink_rx(island_id).busy_fraction(window_us, now),
+        )

@@ -29,6 +29,7 @@ Two cost models share the API:
 from __future__ import annotations
 
 import itertools
+from dataclasses import dataclass, field
 from typing import Callable, Generator, Iterable, Optional, Sequence, TYPE_CHECKING
 
 from repro.config import SystemConfig
@@ -41,7 +42,7 @@ if TYPE_CHECKING:  # pragma: no cover
     from repro.hw.device import CollectiveRendezvous
     from repro.hw.host import Host
 
-__all__ = ["Message", "MessageLost", "Transport"]
+__all__ = ["Message", "MessageLost", "Transport", "TransportStats"]
 
 _message_ids = itertools.count(1)
 
@@ -176,6 +177,32 @@ class _SendState:
         self.msg.fail(cause)
 
 
+@dataclass(frozen=True)
+class TransportStats:
+    """One point-in-time snapshot of the transport (and its fabric).
+
+    ``link_utilization`` is the fabric's sliding-window per-link busy
+    fraction (empty when the transport has no fabric); everything else
+    mirrors the transport's cumulative counters at snapshot time.
+    """
+
+    messages_sent: int
+    bytes_sent: int
+    messages_delivered: int
+    bytes_delivered: int
+    messages_lost: int
+    retransmits: int
+    loopback_messages: int
+    loopback_bytes: int
+    #: Distinct messages currently tracked in flight.
+    in_flight: int
+    link_utilization: dict[str, float] = field(default_factory=dict)
+
+    @property
+    def max_link_utilization(self) -> float:
+        return max(self.link_utilization.values(), default=0.0)
+
+
 class Transport:
     """Uniform cross-host send/rpc/bulk/collective API over the fabric.
 
@@ -226,6 +253,36 @@ class Transport:
     ) -> None:
         """Observe every in-flight message loss (recovery accounting)."""
         self._loss_listeners.append(fn)
+
+    def stats(self, window_us: Optional[float] = None) -> TransportStats:
+        """Snapshot the transport counters + per-link utilization.
+
+        ``window_us`` sets the sliding window of the utilization half
+        (capped at the config's ``net_util_window_us``); counters are
+        cumulative regardless.
+        """
+        in_flight = {
+            msg.msg_id
+            for tracked in self._in_flight.values()
+            for msg in tracked
+            if not msg.triggered
+        }
+        return TransportStats(
+            messages_sent=self.messages_sent,
+            bytes_sent=self.bytes_sent,
+            messages_delivered=self.messages_delivered,
+            bytes_delivered=self.bytes_delivered,
+            messages_lost=self.messages_lost,
+            retransmits=self.retransmits,
+            loopback_messages=self.loopback_messages,
+            loopback_bytes=self.loopback_bytes,
+            in_flight=len(in_flight),
+            link_utilization=(
+                self.fabric.utilization(window_us)
+                if self.fabric is not None
+                else {}
+            ),
+        )
 
     # -- the send paths -----------------------------------------------------
     def send(

@@ -1,0 +1,278 @@
+"""The serving frontend: request ingress and SLO-aware admission.
+
+An open-loop client population pushes :class:`Request`\\ s over the
+routed ``repro.net`` transport to one frontend host.  On arrival the
+frontend decides — *before* any hardware is committed — whether the
+request's SLO budget is still winnable:
+
+* no active replica → ``no-capacity`` rejection;
+* the chosen replica's queue is at its bound → ``queue-full``;
+* the backlog-based latency estimate exceeds the remaining budget →
+  ``infeasible-deadline``.
+
+Admitted requests join the least-loaded replica's continuous batcher
+and carry an **absolute deadline**: every gang the batch submits rides
+the scheduler's deadline-eviction path (PR 4), so even work the
+estimate got wrong leaves the system as a *typed* rejection
+(``deadline-evicted`` via ``execution.deadline_exceeded``) rather than
+a silent SLO miss camped on the queue.  Every rejection reason is a
+counter on the frontend — overload is absorbed as accounted rejections,
+never abandons.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Optional, TYPE_CHECKING
+
+from repro.serve.metrics import LatencyRecorder
+from repro.sim import Event
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.core.system import PathwaysSystem
+    from repro.hw.host import Host
+    from repro.serve.replicas import Replica, ReplicaSet
+
+__all__ = [
+    "Frontend",
+    "REJECTION_REASONS",
+    "REJECT_EVICTED",
+    "REJECT_EXPIRED",
+    "REJECT_INFEASIBLE",
+    "REJECT_NET_LOST",
+    "REJECT_NO_CAPACITY",
+    "REJECT_QUEUE_FULL",
+    "Request",
+]
+
+#: Typed rejection reasons (frontend counter keys).
+REJECT_NO_CAPACITY = "no-capacity"          # no active replica
+REJECT_QUEUE_FULL = "queue-full"            # per-replica queue bound hit
+REJECT_INFEASIBLE = "infeasible-deadline"   # admission estimate > budget
+REJECT_EXPIRED = "expired-in-queue"         # deadline passed before batching
+REJECT_EVICTED = "deadline-evicted"         # scheduler deadline eviction
+REJECT_NET_LOST = "net-lost"                # request/response message lost
+
+REJECTION_REASONS = (
+    REJECT_NO_CAPACITY,
+    REJECT_QUEUE_FULL,
+    REJECT_INFEASIBLE,
+    REJECT_EXPIRED,
+    REJECT_EVICTED,
+    REJECT_NET_LOST,
+)
+
+
+@dataclass
+class Request:
+    """One inference request and its lifecycle stamps (all µs)."""
+
+    req_id: int
+    src_host: "Host"
+    prompt_tokens: int
+    gen_tokens: int
+    #: SLO budget relative to :attr:`arrival_us`.
+    slo_us: float
+    arrival_us: float
+    received_us: float = 0.0    # delivered to the frontend
+    admitted_us: float = 0.0    # passed admission
+    batched_us: float = 0.0     # its batch was submitted
+    done_us: float = 0.0        # batch execution completed
+    completed_us: float = 0.0   # response delivered to the caller
+    #: Device-compute share of its batch (analytic).
+    compute_us: float = 0.0
+    #: Terminal rejection reason (None while live / on completion).
+    rejected: Optional[str] = None
+    #: True when the request died to a non-deadline failure.
+    abandoned: bool = False
+
+    @property
+    def tokens(self) -> int:
+        return self.prompt_tokens + self.gen_tokens
+
+    @property
+    def deadline_at_us(self) -> float:
+        """Absolute SLO deadline (the scheduler-eviction bound)."""
+        return self.arrival_us + self.slo_us
+
+
+class Frontend:
+    """Request ingress, SLO admission, and typed outcome accounting."""
+
+    def __init__(
+        self,
+        system: "PathwaysSystem",
+        replicas: "ReplicaSet",
+        recorder: Optional[LatencyRecorder] = None,
+        host: Optional["Host"] = None,
+        admission: bool = True,
+        admission_slack: float = 1.0,
+        max_queue_per_replica: int = 64,
+        request_bytes_per_token: int = 4,
+        response_bytes_per_token: int = 4,
+    ):
+        self.system = system
+        self.sim = system.sim
+        self.config = system.config
+        self.transport = system.transport
+        #: The gateway host requests are delivered to (and replica
+        #: weights are shipped from).
+        self.host = host if host is not None else system.cluster.hosts[0]
+        self.replicas = replicas
+        replicas.attach_frontend(self)
+        self.recorder = recorder if recorder is not None else LatencyRecorder()
+        #: Admission knobs: with ``admission`` off every request is
+        #: accepted and the scheduler's deadline eviction is the only
+        #: overload backstop (the configuration the eviction tests use).
+        self.admission = admission
+        self.admission_slack = admission_slack
+        self.max_queue_per_replica = max_queue_per_replica
+        self.request_bytes_per_token = request_bytes_per_token
+        self.response_bytes_per_token = response_bytes_per_token
+
+        # Outcome accounting: every arrived request ends in exactly one
+        # of completed / rejections[reason] / abandoned.
+        self.arrived = 0
+        self.admitted = 0
+        self.completed = 0
+        self.abandoned = 0
+        self.rejections: dict[str, int] = {}
+        self.last_abandon_cause: Optional[BaseException] = None
+        self._outstanding = 0
+        self._closing = False
+        self._drained: Event = self.sim.event(
+            name="serve_drained" if self.sim.debug_names else ""
+        )
+        self._req_ids = 0
+
+    # -- ingress -------------------------------------------------------------
+    def submit_from(
+        self,
+        src_host: "Host",
+        prompt_tokens: int,
+        gen_tokens: int,
+        slo_us: float,
+    ) -> Request:
+        """One open-loop arrival: ship the request to the frontend host
+        over the transport, then admit on delivery."""
+        self._req_ids += 1
+        req = Request(
+            req_id=self._req_ids,
+            src_host=src_host,
+            prompt_tokens=prompt_tokens,
+            gen_tokens=gen_tokens,
+            slo_us=slo_us,
+            arrival_us=self.sim.now,
+        )
+        self.arrived += 1
+        self._outstanding += 1
+        nbytes = max(1, prompt_tokens * self.request_bytes_per_token)
+        msg = self.transport.send(src_host, self.host, nbytes)
+        msg.add_callback(lambda ev, r=req: self._on_request_delivered(ev, r))
+        return req
+
+    def _on_request_delivered(self, ev: Event, req: Request) -> None:
+        if ev._exc is not None:
+            self._reject(req, REJECT_NET_LOST)
+            return
+        req.received_us = self.sim.now
+        self._admit(req)
+
+    # -- admission -----------------------------------------------------------
+    def _admit(self, req: Request) -> None:
+        replica = self.replicas.least_loaded()
+        if replica is None:
+            self._reject(req, REJECT_NO_CAPACITY)
+            return
+        if self.admission:
+            if replica.queue_len >= self.max_queue_per_replica:
+                self._reject(req, REJECT_QUEUE_FULL)
+                return
+            budget = req.deadline_at_us - self.sim.now
+            if self._estimated_latency_us(replica) > budget * self.admission_slack:
+                self._reject(req, REJECT_INFEASIBLE)
+                return
+        req.admitted_us = self.sim.now
+        self.admitted += 1
+        replica.enqueue(req)
+
+    def _estimated_latency_us(self, replica: "Replica") -> float:
+        """Pessimistic time-to-response if ``req`` joined ``replica``:
+        every batch ahead of it (in flight and queued) at full-batch
+        service time, plus one coalescing window and the response leg."""
+        rset = self.replicas
+        batches_ahead = len(replica.in_flight) + math.ceil(
+            (replica.queue_len + 1) / rset.max_batch
+        )
+        return (
+            batches_ahead * replica.service_time_us(rset.max_batch)
+            + rset.max_wait_us
+            + self.config.dcn_latency_us
+        )
+
+    # -- terminal outcomes (called by the batcher and response path) ----------
+    def complete_batch(self, batch: list[Request], replica: "Replica") -> None:
+        """A batch finished on-device: ship each response back."""
+        now = self.sim.now
+        src = replica.lead_host if replica.vslice.bound else self.host
+        for req in batch:
+            req.done_us = now
+            nbytes = max(1, req.gen_tokens * self.response_bytes_per_token)
+            msg = self.transport.send(src, req.src_host, nbytes)
+            msg.add_callback(lambda ev, r=req: self._on_response(ev, r))
+
+    def _on_response(self, ev: Event, req: Request) -> None:
+        if ev._exc is not None:
+            self._reject(req, REJECT_NET_LOST)
+            return
+        req.completed_us = self.sim.now
+        self.completed += 1
+        self.recorder.record(req)
+        self._settle(req)
+
+    def reject_expired(self, req: Request) -> None:
+        """The batcher found the deadline already blown at batch time."""
+        self._reject(req, REJECT_EXPIRED)
+
+    def reject_batch(self, batch: list[Request], reason: str) -> None:
+        for req in batch:
+            self._reject(req, reason)
+
+    def abandon_batch(self, batch: list[Request], cause: BaseException) -> None:
+        """A batch died to a non-deadline failure — the outcome the
+        overload benches assert never happens (recovery replays device
+        loss; deadline evictions are typed rejections)."""
+        self.last_abandon_cause = cause
+        for req in batch:
+            req.abandoned = True
+            self.abandoned += 1
+            self._settle(req)
+
+    def _reject(self, req: Request, reason: str) -> None:
+        req.rejected = reason
+        self.rejections[reason] = self.rejections.get(reason, 0) + 1
+        self._settle(req)
+
+    # -- drain bookkeeping ----------------------------------------------------
+    @property
+    def outstanding(self) -> int:
+        """Arrived requests without a terminal outcome yet."""
+        return self._outstanding
+
+    @property
+    def total_rejected(self) -> int:
+        return sum(self.rejections.values())
+
+    def _settle(self, req: Request) -> None:
+        self._outstanding -= 1
+        if self._closing and self._outstanding == 0 and not self._drained.triggered:
+            self._drained.succeed(None)
+
+    def close(self) -> Event:
+        """No more arrivals: returns an event firing once every already
+        arrived request has a terminal outcome."""
+        self._closing = True
+        if self._outstanding == 0 and not self._drained.triggered:
+            self._drained.succeed(None)
+        return self._drained

@@ -1,0 +1,115 @@
+"""Latency accounting for the serving subsystem.
+
+The :class:`LatencyRecorder` collects one sample per completed request
+and reports the tail quantiles serving papers plot (p50/p95/p99) plus a
+per-stage breakdown of where the time went:
+
+* ``net`` — request transit to the frontend plus the response transit
+  back to the caller (both legs ride the routed ``repro.net`` fabric,
+  so congestion shows up here);
+* ``queue`` — frontend admission to batch submission (the continuous
+  batcher's coalescing window plus any backlog wait);
+* ``dispatch`` — batch submission to completion, *minus* device
+  compute: controller fan-out, executor prep, gang-scheduler grant
+  wait, and PCIe enqueue;
+* ``compute`` — the inference step's device time (analytic, from the
+  model's cost formulas).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Sequence, TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.serve.frontend import Request
+
+__all__ = ["LatencyRecorder", "LatencySnapshot", "STAGES", "percentile"]
+
+#: Stage keys, in pipeline order.
+STAGES = ("net", "queue", "dispatch", "compute")
+
+
+def percentile(values: Sequence[float], q: float) -> float:
+    """Nearest-rank percentile (``q`` in [0, 100]); 0.0 when empty."""
+    vals = sorted(values)
+    if not vals:
+        return 0.0
+    if q <= 0.0:
+        return vals[0]
+    rank = min(len(vals), max(1, math.ceil(q / 100.0 * len(vals))))
+    return vals[rank - 1]
+
+
+@dataclass(frozen=True)
+class LatencySnapshot:
+    """Aggregated view of every request recorded so far."""
+
+    count: int
+    mean_us: float
+    p50_us: float
+    p95_us: float
+    p99_us: float
+    max_us: float
+    stage_mean_us: dict[str, float]
+    slo_met: int
+    slo_missed: int
+
+    @property
+    def slo_fraction(self) -> float:
+        """Within-SLO fraction of *completed* requests (1.0 when none)."""
+        total = self.slo_met + self.slo_missed
+        return self.slo_met / total if total else 1.0
+
+
+class LatencyRecorder:
+    """Collects per-request latency samples and stage breakdowns."""
+
+    def __init__(self) -> None:
+        self.latencies: list[float] = []
+        self.stages: dict[str, list[float]] = {s: [] for s in STAGES}
+        self.slo_met = 0
+        self.slo_missed = 0
+
+    @property
+    def count(self) -> int:
+        return len(self.latencies)
+
+    def record(self, req: "Request") -> float:
+        """Fold one completed request's stamps in; returns its latency."""
+        total = req.completed_us - req.arrival_us
+        self.latencies.append(total)
+        self.stages["net"].append(
+            (req.received_us - req.arrival_us) + (req.completed_us - req.done_us)
+        )
+        self.stages["queue"].append(req.batched_us - req.received_us)
+        self.stages["dispatch"].append(
+            max(0.0, (req.done_us - req.batched_us) - req.compute_us)
+        )
+        self.stages["compute"].append(req.compute_us)
+        if total <= req.slo_us:
+            self.slo_met += 1
+        else:
+            self.slo_missed += 1
+        return total
+
+    def percentile(self, q: float) -> float:
+        return percentile(self.latencies, q)
+
+    def snapshot(self) -> LatencySnapshot:
+        lat = self.latencies
+        return LatencySnapshot(
+            count=len(lat),
+            mean_us=sum(lat) / len(lat) if lat else 0.0,
+            p50_us=percentile(lat, 50.0),
+            p95_us=percentile(lat, 95.0),
+            p99_us=percentile(lat, 99.0),
+            max_us=max(lat) if lat else 0.0,
+            stage_mean_us={
+                s: (sum(v) / len(v) if v else 0.0)
+                for s, v in self.stages.items()
+            },
+            slo_met=self.slo_met,
+            slo_missed=self.slo_missed,
+        )

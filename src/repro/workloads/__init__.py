@@ -9,10 +9,19 @@
   failure/repair churn (the resilience scenario family).
 * :mod:`repro.workloads.netload` — cross-island bulk traffic contending
   with probe dispatch on the routed fabric (congestion, route loss).
+* :mod:`repro.workloads.serving` — open-loop online inference traffic
+  (Poisson / bursty / diurnal) through the ``repro.serve`` stack.
 """
 
 from repro.workloads.churn import ChurnResult, run_churn
 from repro.workloads.netload import NetCongestionResult, run_net_congestion
+from repro.workloads.serving import (
+    ServingResult,
+    bursty_arrivals,
+    diurnal_arrivals,
+    poisson_arrivals,
+    run_serving,
+)
 from repro.workloads.microbench import (
     MicrobenchResult,
     run_jax,
@@ -30,6 +39,10 @@ __all__ = [
     "ChurnResult",
     "MicrobenchResult",
     "NetCongestionResult",
+    "ServingResult",
+    "bursty_arrivals",
+    "diurnal_arrivals",
+    "poisson_arrivals",
     "run_churn",
     "run_jax",
     "run_net_congestion",
@@ -38,5 +51,6 @@ __all__ = [
     "run_pathways_multitenant",
     "run_pathways_pipeline_chain",
     "run_ray",
+    "run_serving",
     "run_tf",
 ]

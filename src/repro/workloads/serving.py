@@ -1,0 +1,385 @@
+"""Open-loop online-serving workload (the repro.serve scenario family).
+
+Arrival-process generators plus ``run_serving``, the driver the serving
+benchmarks and tests build on: an open-loop client population (arrivals
+do not wait for completions — the defining property of SLO studies)
+pushes requests over the routed fabric into a
+:class:`~repro.serve.frontend.Frontend`, continuous batchers coalesce
+them into gang-scheduled inference programs on a
+:class:`~repro.serve.replicas.ReplicaSet`, and every request ends in
+exactly one typed outcome: completed, rejected (by reason), or —
+asserted never, absent unrecoverable faults — abandoned.
+
+Three arrival shapes:
+
+* :func:`poisson_arrivals` — stationary Poisson at ``rate_rps``;
+* :func:`bursty_arrivals` — on/off modulated Poisson (duty-cycled
+  bursts at ``burst_rps`` over a ``base_rps`` floor);
+* :func:`diurnal_arrivals` — a sinusoidal day: trough at t=0, peak at
+  half the period (non-homogeneous Poisson via thinning).
+
+Deterministic: all randomness flows from the seeded generator.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Generator, Optional
+
+import numpy as np
+
+from repro.config import DEFAULT_CONFIG, SystemConfig
+from repro.core.scheduler import EarliestDeadlinePolicy
+from repro.core.system import PathwaysSystem
+from repro.hw.cluster import ClusterSpec
+from repro.models.transformer import DECODER_3B, TransformerConfig
+from repro.resilience import ElasticController, RecoveryManager
+from repro.serve import Autoscaler, Frontend, LatencyRecorder, ReplicaSet
+
+__all__ = [
+    "ServingResult",
+    "bursty_arrivals",
+    "diurnal_arrivals",
+    "poisson_arrivals",
+    "run_serving",
+]
+
+
+# -- arrival processes --------------------------------------------------------
+def poisson_arrivals(
+    rate_rps: float, duration_us: float, seed: int = 0
+) -> np.ndarray:
+    """Stationary Poisson arrival times (µs) in [0, duration)."""
+    if rate_rps <= 0 or duration_us <= 0:
+        return np.empty(0)
+    rng = np.random.default_rng(seed)
+    mean_gap_us = 1e6 / rate_rps
+    # Draw in one vectorized block sized generously, then trim.
+    n_est = int(duration_us / mean_gap_us * 1.5) + 16
+    times = np.cumsum(rng.exponential(mean_gap_us, size=n_est))
+    while times[-1] < duration_us:  # pragma: no cover - rare top-up
+        times = np.concatenate(
+            [times, times[-1] + np.cumsum(rng.exponential(mean_gap_us, size=n_est))]
+        )
+    return times[times < duration_us]
+
+
+def _thinned(
+    peak_rps: float,
+    rate_at: Callable[[np.ndarray], np.ndarray],
+    duration_us: float,
+    seed: int,
+) -> np.ndarray:
+    """Non-homogeneous Poisson via thinning against ``peak_rps``."""
+    candidates = poisson_arrivals(peak_rps, duration_us, seed=seed)
+    if candidates.size == 0:
+        return candidates
+    rng = np.random.default_rng(seed + 0x5EED)
+    keep = rng.random(candidates.size) * peak_rps < rate_at(candidates)
+    return candidates[keep]
+
+
+def bursty_arrivals(
+    base_rps: float,
+    burst_rps: float,
+    duration_us: float,
+    period_us: float = 100_000.0,
+    duty: float = 0.25,
+    seed: int = 0,
+) -> np.ndarray:
+    """On/off bursts: ``burst_rps`` for the first ``duty`` of each
+    period, ``base_rps`` for the rest."""
+    if burst_rps < base_rps:
+        raise ValueError("burst_rps must be >= base_rps")
+
+    def rate_at(t: np.ndarray) -> np.ndarray:
+        phase = np.mod(t, period_us) / period_us
+        return np.where(phase < duty, burst_rps, base_rps)
+
+    return _thinned(burst_rps, rate_at, duration_us, seed)
+
+
+def diurnal_arrivals(
+    mean_rps: float,
+    duration_us: float,
+    amplitude: float = 0.8,
+    period_us: Optional[float] = None,
+    seed: int = 0,
+) -> np.ndarray:
+    """A sinusoidal "day": rate(t) = mean·(1 − A·cos(2πt/period)).
+
+    Trough at t=0 and t=period, peak ``mean·(1+A)`` at half the period;
+    the default period is the whole run (one day per run).
+    """
+    if not 0.0 <= amplitude <= 1.0:
+        raise ValueError(f"amplitude must be in [0, 1], got {amplitude}")
+    period = period_us if period_us is not None else duration_us
+    peak = mean_rps * (1.0 + amplitude)
+
+    def rate_at(t: np.ndarray) -> np.ndarray:
+        return mean_rps * (1.0 - amplitude * np.cos(2.0 * np.pi * t / period))
+
+    return _thinned(peak, rate_at, duration_us, seed)
+
+
+# -- results ------------------------------------------------------------------
+@dataclass
+class ServingResult:
+    """Outcome of one serving run."""
+
+    arrival: str
+    offered_rps: float
+    duration_us: float
+    #: Simulated time until the last outstanding request settled.
+    elapsed_us: float
+    arrived: int
+    admitted: int
+    completed: int
+    #: Typed rejections by reason (see repro.serve.frontend REJECT_*).
+    rejections: dict[str, int]
+    #: Requests lost to non-deadline failures (the benches assert 0).
+    abandoned: int
+    slo_us: float
+    #: Within-SLO completions / arrived — counts rejections against us.
+    slo_attainment: float
+    #: Within-SLO completions per second of offered window.
+    goodput_rps: float
+    #: Analytic replica-set capacity at the run's peak width.
+    capacity_rps: float
+    p50_us: float
+    p95_us: float
+    p99_us: float
+    mean_us: float
+    max_us: float
+    stage_mean_us: dict[str, float]
+    width_min: int
+    width_peak: int
+    scale_ups: int
+    scale_downs: int
+    width_history: list[tuple[float, int]] = field(default_factory=list)
+    #: Per-client scheduler deadline evictions (typed counter sum).
+    deadline_rejections: int = 0
+    recoveries: int = 0
+    messages_lost: int = 0
+    fabric_idle: bool = True
+    system_handle: Optional[PathwaysSystem] = None
+
+    @property
+    def total_rejected(self) -> int:
+        return sum(self.rejections.values())
+
+
+# -- the driver ---------------------------------------------------------------
+def _arrival_driver(
+    frontend: Frontend,
+    arrivals: np.ndarray,
+    src_hosts: list,
+    prompt_tokens: int,
+    gen_tokens: int,
+    slo_us: float,
+) -> Generator:
+    sim = frontend.sim
+    for i, t in enumerate(arrivals):
+        delay = float(t) - sim.now
+        if delay > 0:
+            yield sim.timeout(delay)
+        frontend.submit_from(
+            src_hosts[i % len(src_hosts)], prompt_tokens, gen_tokens, slo_us
+        )
+    yield frontend.close()
+
+
+def run_serving(
+    arrival: str = "poisson",
+    rate_rps: float = 400.0,
+    duration_us: float = 500_000.0,
+    islands: int = 2,
+    hosts_per_island: int = 2,
+    devices_per_host: int = 4,
+    n_replicas: int = 2,
+    devices_per_replica: int = 4,
+    model: TransformerConfig = DECODER_3B,
+    nominal_params: Optional[int] = None,
+    efficiency: float = 0.5,
+    prompt_tokens: int = 24,
+    gen_tokens: int = 8,
+    slo_us: float = 50_000.0,
+    max_batch: int = 8,
+    max_wait_us: float = 2_000.0,
+    max_in_flight: int = 2,
+    weights_bytes: int = 64 << 20,
+    admission: bool = True,
+    admission_slack: float = 1.0,
+    max_queue_per_replica: int = 64,
+    autoscale: bool = False,
+    min_replicas: Optional[int] = None,
+    max_replicas: int = 4,
+    autoscale_interval_us: float = 5_000.0,
+    shrink_patience: int = 3,
+    burst_rps: Optional[float] = None,
+    burst_period_us: float = 100_000.0,
+    burst_duty: float = 0.25,
+    diurnal_amplitude: float = 0.8,
+    diurnal_period_us: Optional[float] = None,
+    fail_replica_at: Optional[float] = None,
+    repair_us: float = 30_000.0,
+    contention: bool = True,
+    sharing: str = "fair",
+    seed: int = 0,
+    config: SystemConfig = DEFAULT_CONFIG,
+    debug_names: bool = False,
+    log_schedule: bool = False,
+) -> ServingResult:
+    """One open-loop serving run; drives the simulator to completion.
+
+    ``arrival`` picks the process: ``"poisson"`` at ``rate_rps``,
+    ``"bursty"`` (``rate_rps`` floor, ``burst_rps`` bursts), or
+    ``"diurnal"`` (mean ``rate_rps``, one sinusoidal day by default).
+    ``autoscale`` attaches an :class:`~repro.serve.Autoscaler` between
+    ``min_replicas`` (default: the initial width) and ``max_replicas``.
+    ``fail_replica_at`` injects a device failure under replica 0 at that
+    time (repaired ``repair_us`` later) — the replica-loss drill: the
+    in-flight batch replays through the recovery path.
+    """
+    total_devices = islands * hosts_per_island * devices_per_host
+    if n_replicas * devices_per_replica > total_devices:
+        raise ValueError(
+            f"{n_replicas} replicas x {devices_per_replica} devices exceed "
+            f"the cluster ({total_devices} devices)"
+        )
+    config = config.with_overrides(
+        net_contention=contention, net_link_sharing=sharing
+    )
+    system = PathwaysSystem.build(
+        ClusterSpec(
+            islands=((hosts_per_island, devices_per_host),) * islands,
+            name="serve",
+        ),
+        config=config,
+        policy=EarliestDeadlinePolicy(),
+        debug_names=debug_names,
+        log_schedule=log_schedule,
+    )
+    recovery = RecoveryManager(system, detection_us=500.0)
+    ElasticController(system)
+    sim = system.sim
+
+    replicas = ReplicaSet(
+        system,
+        model=model,
+        devices_per_replica=devices_per_replica,
+        tokens_per_request=prompt_tokens + gen_tokens,
+        efficiency=efficiency,
+        weights_bytes=weights_bytes,
+        max_batch=max_batch,
+        max_wait_us=max_wait_us,
+        max_in_flight=max_in_flight,
+        nominal_params=nominal_params,
+    )
+    recorder = LatencyRecorder()
+    frontend = Frontend(
+        system,
+        replicas,
+        recorder,
+        admission=admission,
+        admission_slack=admission_slack,
+        max_queue_per_replica=max_queue_per_replica,
+    )
+    for _ in range(n_replicas):
+        if replicas.grow(initial=True) is None:
+            raise RuntimeError("no island slot for an initial replica")
+    if autoscale:
+        Autoscaler(
+            system,
+            frontend,
+            replicas,
+            min_replicas=min_replicas if min_replicas is not None else n_replicas,
+            max_replicas=max_replicas,
+            interval_us=autoscale_interval_us,
+            shrink_patience=shrink_patience,
+        )
+
+    if arrival == "poisson":
+        arrivals = poisson_arrivals(rate_rps, duration_us, seed=seed)
+        offered_rps = rate_rps
+    elif arrival == "bursty":
+        if burst_rps is None:
+            burst_rps = 4.0 * rate_rps
+        arrivals = bursty_arrivals(
+            rate_rps, burst_rps, duration_us,
+            period_us=burst_period_us, duty=burst_duty, seed=seed,
+        )
+        offered_rps = arrivals.size / (duration_us / 1e6)
+    elif arrival == "diurnal":
+        arrivals = diurnal_arrivals(
+            rate_rps, duration_us,
+            amplitude=diurnal_amplitude, period_us=diurnal_period_us, seed=seed,
+        )
+        offered_rps = arrivals.size / (duration_us / 1e6)
+    else:
+        raise ValueError(f"unknown arrival process {arrival!r}")
+
+    if fail_replica_at is not None:
+        def _fail(ev) -> None:
+            if not replicas.replicas:
+                return  # the autoscaler emptied the pool; nothing to kill
+            victim = replicas.replicas[0]
+            if victim.vslice.bound:
+                device = victim.vslice.group.devices[0]
+                recovery.fail_device(device, reason="serving replica drill")
+                if repair_us > 0:
+                    sim.timeout(repair_us).add_callback(
+                        lambda e, d=device: recovery.repair_device(d)
+                    )
+
+        sim.timeout(fail_replica_at).add_callback(_fail)
+
+    src_hosts = list(system.cluster.hosts)
+    driver = sim.process(
+        _arrival_driver(
+            frontend, arrivals, src_hosts, prompt_tokens, gen_tokens, slo_us
+        ),
+        name="serve_driver" if debug_names else "",
+    )
+    start = sim.now
+    sim.run_until_triggered(driver)
+    elapsed = sim.now - start
+
+    snap = recorder.snapshot()
+    arrived = frontend.arrived
+    slo_attainment = snap.slo_met / arrived if arrived else 1.0
+    goodput_rps = snap.slo_met / (duration_us / 1e6)
+    deadline_rejections = sum(
+        c.deadline_rejections for c in system._clients.values()
+    )
+    return ServingResult(
+        arrival=arrival,
+        offered_rps=offered_rps,
+        duration_us=duration_us,
+        elapsed_us=elapsed,
+        arrived=arrived,
+        admitted=frontend.admitted,
+        completed=frontend.completed,
+        rejections=dict(frontend.rejections),
+        abandoned=frontend.abandoned,
+        slo_us=slo_us,
+        slo_attainment=slo_attainment,
+        goodput_rps=goodput_rps,
+        capacity_rps=replicas.capacity_rps() if replicas.replicas else 0.0,
+        p50_us=snap.p50_us,
+        p95_us=snap.p95_us,
+        p99_us=snap.p99_us,
+        mean_us=snap.mean_us,
+        max_us=snap.max_us,
+        stage_mean_us=snap.stage_mean_us,
+        width_min=replicas.min_width,
+        width_peak=replicas.peak_width,
+        scale_ups=replicas.scale_ups,
+        scale_downs=replicas.scale_downs,
+        width_history=list(replicas.width_history),
+        deadline_rejections=deadline_rejections,
+        recoveries=recovery.programs_recovered,
+        messages_lost=system.transport.messages_lost,
+        fabric_idle=system.cluster.fabric.idle,
+        system_handle=system,
+    )

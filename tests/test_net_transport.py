@@ -763,3 +763,130 @@ class TestReviewRegressions:
         # Only the *other* host's shards crossed the network.
         assert store.cross_host_bytes < 4 * MB
         assert system.transport.loopback_messages == 0
+
+
+class TestUtilizationSnapshot:
+    """The Fabric.utilization / Transport.stats snapshot API (the
+    autoscaler's signal, seeding congestion-aware placement)."""
+
+    def test_idle_fabric_reports_zero(self, contended_cluster):
+        fabric = contended_cluster.fabric
+        src = contended_cluster.islands[0].hosts[0]
+        dst = contended_cluster.islands[1].hosts[0]
+        fabric.route(src, dst)  # materialize the links
+        util = fabric.utilization()
+        assert util and all(v == 0.0 for v in util.values())
+
+    def test_saturated_uplink_reports_full(self, sim, contended_config):
+        cluster = make_cluster(
+            sim, ClusterSpec(islands=((2, 2), (2, 2)), name="net"),
+            config=contended_config,
+        )
+        transport = cluster.transport
+        src = cluster.islands[0].hosts[0]
+        dst = cluster.islands[1].hosts[0]
+
+        def sender():
+            for _ in range(8):
+                yield transport.send(src, dst, 8 * MB)
+
+        proc = sim.process(sender())
+        sim.run_until_triggered(proc)
+        # Back-to-back flows kept the route busy essentially the whole
+        # window; the uplink busy fraction reflects it.
+        assert cluster.fabric.uplink_utilization(0) > 0.9
+        util = cluster.fabric.utilization()
+        assert util["nic_tx[h0]"] > 0.9
+        # The receiving island's uplink_rx carried the same bytes...
+        assert util["uplink_rx[i1]"] > 0.9
+        # ...but its egress uplink saw no traffic and stays idle.
+        assert cluster.fabric.uplink_tx(1).busy_fraction() == 0.0
+        assert cluster.fabric.uplink_utilization(1) > 0.9  # rx side
+
+    def test_sliding_window_forgets_old_traffic(self, sim, contended_config):
+        cfg = contended_config.with_overrides(net_util_window_us=10_000.0)
+        cluster = make_cluster(
+            sim, ClusterSpec(islands=((2, 2),), name="net"), config=cfg
+        )
+        transport = cluster.transport
+        a, b = cluster.islands[0].hosts
+
+        def sender():
+            yield transport.send(a, b, 8 * MB)  # ~671us of NIC time
+
+        proc = sim.process(sender())
+        sim.run_until_triggered(proc)
+        busy_now = cluster.fabric.utilization(1_000.0)["nic_tx[h0]"]
+        assert busy_now > 0.5
+        # Long after the transfer the window has slid past it entirely.
+        sim.process(_idle(sim))
+        sim.run()
+        assert cluster.fabric.utilization(5_000.0)["nic_tx[h0]"] == 0.0
+
+    def test_fifo_discipline_tracks_busy_time_too(self, sim):
+        cfg = DEFAULT_CONFIG.with_overrides(
+            net_contention=True, net_link_sharing="fifo"
+        )
+        cluster = make_cluster(
+            sim, ClusterSpec(islands=((2, 2),), name="net"), config=cfg
+        )
+        transport = cluster.transport
+        a, b = cluster.islands[0].hosts
+
+        def sender():
+            yield transport.send(a, b, 4 * MB)
+
+        proc = sim.process(sender())
+        sim.run_until_triggered(proc)
+        assert cluster.fabric.utilization()["nic_tx[h0]"] > 0.3
+        assert cluster.fabric.idle
+
+    def test_transport_stats_snapshot(self, sim, contended_config):
+        cluster = make_cluster(
+            sim, ClusterSpec(islands=((2, 2), (2, 2)), name="net"),
+            config=contended_config,
+        )
+        transport = cluster.transport
+        src = cluster.islands[0].hosts[0]
+        dst = cluster.islands[1].hosts[0]
+
+        def sender():
+            yield transport.send(src, dst, 1 * MB)
+            transport.send(src, src, 64)  # loopback
+            yield transport.send(dst, src, 1 * MB)
+
+        proc = sim.process(sender())
+        sim.run_until_triggered(proc)
+        stats = transport.stats()
+        assert stats.messages_sent == 2
+        assert stats.messages_delivered == 2
+        assert stats.bytes_delivered == 2 * MB
+        assert stats.loopback_messages == 1
+        assert stats.in_flight == 0
+        assert stats.messages_lost == 0
+        assert 0.0 < stats.max_link_utilization <= 1.0
+        assert "spine" in stats.link_utilization
+
+    def test_stats_track_in_flight(self, sim, contended_config):
+        cluster = make_cluster(
+            sim, ClusterSpec(islands=((2, 2),), name="net"),
+            config=contended_config,
+        )
+        transport = cluster.transport
+        a, b = cluster.islands[0].hosts
+        transport.send(a, b, 8 * MB)
+        seen = {}
+
+        def probe():
+            yield sim.timeout(10.0)
+            seen["stats"] = transport.stats()
+
+        proc = sim.process(probe())
+        sim.run_until_triggered(proc)
+        assert seen["stats"].in_flight == 1
+        sim.run()
+        assert transport.stats().in_flight == 0
+
+
+def _idle(sim):
+    yield sim.timeout(50_000.0)

@@ -17,6 +17,7 @@ import pytest
 from repro.sim import Event, Simulator
 from repro.workloads.churn import run_churn
 from repro.workloads.netload import run_net_congestion
+from repro.workloads.serving import run_serving
 
 #: Small but eventful: 2 resilient tenants, device churn, checkpoints,
 #: remaps — every hot path of the engine fires.
@@ -127,6 +128,69 @@ class TestGoldenContendedFabric:
         assert r_plain.elapsed_us == r_named.elapsed_us
         assert r_plain.bytes_delivered == r_named.bytes_delivered
         assert r_plain.messages_lost == r_named.messages_lost
+
+
+#: Serving scenario on the contended fabric: Poisson admission over the
+#: transport, continuous batching, deadline-armed gangs, an autoscaler
+#: growing/shrinking replicas, and a mid-run device failure recovered
+#: through remap/replay — every hot path of the repro.serve layer fires.
+SERVE_KWARGS = dict(
+    rate_rps=700.0,
+    duration_us=80_000.0,
+    islands=2,
+    hosts_per_island=2,
+    devices_per_host=4,
+    n_replicas=1,
+    devices_per_replica=4,
+    max_batch=4,
+    slo_us=60_000.0,
+    autoscale=True,
+    max_replicas=2,
+    autoscale_interval_us=10_000.0,
+    fail_replica_at=30_000.0,
+    repair_us=20_000.0,
+    contention=True,
+    seed=11,
+)
+
+
+def _golden_serve_run(debug_names: bool):
+    result = run_serving(
+        debug_names=debug_names, log_schedule=True, **SERVE_KWARGS
+    )
+    sim = result.system_handle.sim
+    schedule = [
+        (t, seq, re.sub(r"#\d+", "#N", name))
+        for seq, (t, name) in enumerate(sim.schedule_log)
+    ]
+    return schedule, result
+
+
+class TestGoldenServing:
+    @pytest.mark.parametrize("debug_names", [False, True])
+    def test_two_runs_identical_schedule(self, debug_names):
+        first, r1 = _golden_serve_run(debug_names)
+        second, r2 = _golden_serve_run(debug_names)
+        assert len(first) > 300
+        assert first == second
+        assert r1.elapsed_us == r2.elapsed_us
+        assert r1.completed == r2.completed
+        assert r1.rejections == r2.rejections
+        assert r1.p99_us == r2.p99_us
+        assert r1.width_history == r2.width_history
+        # The scenario really exercised the serving fault paths.
+        assert r1.recoveries >= 1 and r1.scale_ups >= 1
+        assert r1.abandoned == 0
+
+    def test_debug_names_do_not_affect_scheduling(self):
+        plain, r_plain = _golden_serve_run(debug_names=False)
+        named, r_named = _golden_serve_run(debug_names=True)
+        assert [(t, seq) for t, seq, _ in plain] == [
+            (t, seq) for t, seq, _ in named
+        ]
+        assert r_plain.elapsed_us == r_named.elapsed_us
+        assert r_plain.completed == r_named.completed
+        assert r_plain.p99_us == r_named.p99_us
 
 
 class TestHotPathPrimitives:
