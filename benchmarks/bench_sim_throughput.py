@@ -1,14 +1,20 @@
-"""Engine throughput: wall-clock cost of the Figure-5 dispatch sweep.
+"""Engine throughput: wall-clock cost of the paper-scale sweeps.
 
 Unlike every other bench (which reports *simulated* quantities), this
 one measures the simulator itself: wall-clock seconds and engine
-events/sec per sweep point, on the paper's dispatch microbenchmark at
-configuration-B scale (8 TPUs/host, up to 64 hosts = 512 cores) plus a
-paper-scale churn point (configuration A, aggregate device groups).
+events/sec per sweep point — the Figure-5 dispatch sweep at
+configuration-B scale, a paper-scale churn point (configuration A), the
+contended-fabric and serving scenarios, and the FLEET-C point: a fleet
+of configuration-C cells of pure timer load that pits the calendar-queue
+core against the reference heap core at fleet scale (hundreds of
+thousands of live timers) and asserts the calendar's >=2x events/sec.
 
-The sweep emits a ``BENCH_sim_throughput.json`` trajectory artifact
-(see :mod:`repro.bench.wallclock`); the CI perf-smoke job uploads it
-and fails on a >30% events/sec regression against the checked-in
+Every point is an independent :class:`~repro.bench.sweep.SweepTask`, so
+the sweep fans out across cores (``benchmarks/run.py --jobs N`` or
+``REPRO_BENCH_JOBS``) and merges deterministically in spec order.  The
+merged ``BENCH_sim_throughput.json`` trajectory (see
+:mod:`repro.bench.wallclock`) is uploaded by the CI perf-smoke job,
+which fails on a >30% events/sec regression against the checked-in
 baseline (``benchmarks/baselines/sim_throughput_smoke.json``) via
 ``benchmarks/check_throughput_regression.py``.
 """
@@ -16,121 +22,83 @@ baseline (``benchmarks/baselines/sim_throughput_smoke.json``) via
 from __future__ import annotations
 
 from repro.bench.harness import Table, geometric_range, smoke_mode
+from repro.bench.sweep import SweepTask, run_sweep, sweep_jobs
 from repro.bench.wallclock import WallclockRecorder
-from repro.workloads.churn import run_churn
-from repro.workloads.microbench import run_jax, run_pathways
-from repro.workloads.netload import run_net_congestion
-from repro.workloads.serving import run_serving
 
 #: Config-B scale: 8 TPUs/host, 2..64 hosts (512 cores at the top).
 HOSTS = geometric_range(2, 64, smoke_stop=8)
 DEVICES_PER_HOST = 8
 
+#: FLEET-C scale: config-C cells (16 hosts x 8 TPUs each) of pure timer
+#: load — 144 recurring clocks and 288 dormant long-horizon timers per
+#: cell.  Smoke: 1000 cells = 144k live tickers over 288k dormant
+#: timers; full: 4000 cells = 576k over 1.15M.
+FLEET_CELLS_SMOKE = 1000
+FLEET_CELLS_FULL = 4000
 
-def _micro_events(r) -> int:
-    return r.sim_events
+#: Acceptance floor for the calendar core at fleet scale.
+FLEET_MIN_SPEEDUP = 2.0
 
 
-def _micro_sim_us(r) -> float:
-    return r.sim_elapsed_us
+def _tasks() -> list[SweepTask]:
+    tasks = []
+    for h in HOSTS:
+        dispatch = "repro.bench.targets:dispatch_point"
+        for series, system, variant, n_calls in (
+            ("PW-C", "pathways", "chained", 4),
+            ("PW-O", "pathways", "opbyop", 8),
+            ("PW-F", "pathways", "fused", 8),
+            ("JAX-F", "jax", "fused", 15),
+        ):
+            tasks.append(
+                SweepTask(
+                    series, h, dispatch,
+                    kwargs=dict(
+                        system=system, variant=variant, n_hosts=h,
+                        devices_per_host=DEVICES_PER_HOST, n_calls=n_calls,
+                    ),
+                )
+            )
+    # Paper-scale reliability point: config A (512 hosts x 4 TPUs),
+    # three tenants on aggregate 512-core slices under device churn.
+    steps = 10 if smoke_mode() else 20
+    tasks.append(
+        SweepTask(
+            "CHURN-A", 512, "repro.bench.targets:churn_reliability",
+            kwargs=dict(steps_per_client=steps),
+        )
+    )
+    # Contended-fabric point: bulk flows over the island uplink plus a
+    # crash/retransmit cycle — the repro.net hot path — so network-layer
+    # throughput regressions fail CI exactly like engine regressions.
+    tasks.append(SweepTask("NET-C", 4, "repro.bench.targets:net_contention"))
+    # Serving point: open-loop Poisson traffic through the repro.serve
+    # stack (frontend admission, continuous batching, deadline-armed
+    # gangs, a replica-loss recovery) over the contended fabric.
+    tasks.append(SweepTask("SERVE", 2, "repro.bench.targets:serving_slo"))
+    # FLEET-C: the calendar-queue acceptance point.  Both cores run
+    # back to back inside one task so the speedup ratio is immune to
+    # concurrent sweep neighbours; the row records the calendar core.
+    cells = FLEET_CELLS_SMOKE if smoke_mode() else FLEET_CELLS_FULL
+    tasks.append(
+        SweepTask(
+            "FLEET-C", cells, "repro.bench.targets:fleet_speedup",
+            kwargs=dict(n_cells=cells, min_speedup=FLEET_MIN_SPEEDUP),
+        )
+    )
+    return tasks
 
 
 def sweep() -> WallclockRecorder:
     rec = WallclockRecorder("sim_throughput")
-    for h in HOSTS:
-        rec.measure(
-            "PW-C", h,
-            lambda h=h: run_pathways(
-                "chained", h, devices_per_host=DEVICES_PER_HOST, n_calls=4
-            ),
-            events=_micro_events, sim_us=_micro_sim_us,
+    for point in run_sweep(_tasks(), jobs=sweep_jobs()):
+        rec.add_point(
+            point["series"], point["x"],
+            wall_s=point["wall_s"],
+            events=point["events"],
+            sim_us=point["sim_us"],
+            **point["extra"],
         )
-        rec.measure(
-            "PW-O", h,
-            lambda h=h: run_pathways(
-                "opbyop", h, devices_per_host=DEVICES_PER_HOST, n_calls=8
-            ),
-            events=_micro_events, sim_us=_micro_sim_us,
-        )
-        rec.measure(
-            "PW-F", h,
-            lambda h=h: run_pathways(
-                "fused", h, devices_per_host=DEVICES_PER_HOST, n_calls=8
-            ),
-            events=_micro_events, sim_us=_micro_sim_us,
-        )
-        rec.measure(
-            "JAX-F", h,
-            lambda h=h: run_jax(
-                "fused", h, devices_per_host=DEVICES_PER_HOST, n_calls=15
-            ),
-            events=_micro_events, sim_us=_micro_sim_us,
-        )
-    # Paper-scale reliability point: config A (512 hosts x 4 TPUs),
-    # three tenants on aggregate 512-core slices under device churn.
-    steps = 10 if smoke_mode() else 20
-    churn = rec.measure(
-        "CHURN-A", 512,
-        lambda: run_churn(
-            n_clients=3,
-            steps_per_client=steps,
-            slice_devices=512,
-            n_hosts=512,
-            devices_per_host=4,
-            mtbf_us=400_000.0,
-            checkpoint_interval_us=15_000.0,
-        ),
-        events=lambda r: r.system_handle.sim.events_processed,
-        sim_us=lambda r: r.elapsed_us,
-    )
-    assert churn.useful_steps == 3 * steps or not churn.abandoned
-    # Contended-fabric point: bulk flows over the island uplink plus a
-    # crash/retransmit cycle — the repro.net hot path — so network-layer
-    # throughput regressions fail CI exactly like engine regressions.
-    net = rec.measure(
-        "NET-C", 4,
-        lambda: run_net_congestion(
-            n_senders=4,
-            streams=2,
-            hosts_per_island=4,
-            devices_per_host=4,
-            flow_bytes=8 << 20,
-            duration_us=40_000.0,
-            n_probes=4,
-            crash_sender_at=10_000.0,
-            crash_repair_us=8_000.0,
-        ),
-        events=lambda r: r.system_handle.sim.events_processed,
-        sim_us=lambda r: r.elapsed_us,
-    )
-    assert net.fabric_idle and net.probe_failures == 0
-    # Serving point: open-loop Poisson traffic through the repro.serve
-    # stack (frontend admission, continuous batching, deadline-armed
-    # gangs, a replica-loss recovery) over the contended fabric — the
-    # serving hot path is regression-gated exactly like the engine and
-    # network rows.
-    serve = rec.measure(
-        "SERVE", 2,
-        lambda: run_serving(
-            rate_rps=600.0,
-            duration_us=120_000.0,
-            islands=2,
-            hosts_per_island=2,
-            devices_per_host=4,
-            n_replicas=2,
-            devices_per_replica=4,
-            max_batch=8,
-            slo_us=50_000.0,
-            contention=True,
-            fail_replica_at=50_000.0,
-            repair_us=30_000.0,
-            seed=3,
-        ),
-        events=lambda r: r.system_handle.sim.events_processed,
-        sim_us=lambda r: r.elapsed_us,
-    )
-    assert serve.abandoned == 0 and serve.completed > 0
-    assert serve.recoveries >= 1 and serve.fabric_idle
     return rec
 
 
@@ -139,7 +107,8 @@ def test_sim_throughput():
 
     table = Table(
         "Simulator throughput: engine events/sec and wall-clock per "
-        "sweep point (Fig. 5 dispatch at config B + config-A churn)",
+        "sweep point (Fig. 5 dispatch at config B + config-A churn + "
+        "config-C fleet timers)",
         columns=["series", "x", "events", "wall (s)", "events/s", "sim us/s"],
     )
     for p in rec.points:
@@ -148,8 +117,9 @@ def test_sim_throughput():
             p.sim_us_per_wall_s,
         )
     # The Figure-5 dispatch sweep on its own (the headline ≥5× speedup
-    # quantity) and the overall total including the churn + network points.
-    fig5 = [p for p in rec.points if p.series not in ("CHURN-A", "NET-C", "SERVE")]
+    # quantity) and the overall total including the scenario points.
+    scenario = ("CHURN-A", "NET-C", "SERVE", "FLEET-C")
+    fig5 = [p for p in rec.points if p.series not in scenario]
     fig5_wall = sum(p.wall_s for p in fig5)
     fig5_events = sum(p.events for p in fig5)
     table.add_row(
@@ -162,12 +132,25 @@ def test_sim_throughput():
     )
     table.show()
 
+    fleet = rec.series("FLEET-C")[0]
+    print(
+        f"FLEET-C: {fleet.extra['active_timers']:,d} live timers over "
+        f"{fleet.extra['dormant_timers']:,d} dormant — calendar "
+        f"{fleet.extra['calendar_events_per_sec']:,.0f} ev/s vs heap "
+        f"{fleet.extra['heap_events_per_sec']:,.0f} ev/s "
+        f"({fleet.extra['speedup']:.2f}x)"
+    )
+
     path = rec.write()
     print(f"trajectory artifact written to {path}")
 
-    # Smoke-safe sanity: every point did real work and was timed.
+    # Smoke-safe sanity: every point did real work and was timed.  The
+    # scenario invariants (churn steps, fabric idle, serving recovery,
+    # FLEET-C >=2x) travel back from the workers as sweep checks and
+    # have already been asserted by run_sweep.
     for p in rec.points:
         assert p.events > 0 and p.wall_s > 0 and p.sim_us > 0, p
+    assert fleet.extra["speedup"] >= FLEET_MIN_SPEEDUP, fleet.extra
     # Very conservative floor — catches only catastrophic engine
     # regressions; the CI baseline comparison is the sharp check.
     assert rec.aggregate_events_per_sec > 10_000, rec.aggregate_events_per_sec

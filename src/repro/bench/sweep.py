@@ -1,0 +1,141 @@
+"""Parallel sweep runner: fan independent bench points across cores.
+
+A bench sweep is a list of independent measurements — each builds its
+own :class:`~repro.sim.Simulator`, runs one workload configuration, and
+reports event/wall counters.  Nothing couples the points, so they fan
+out over a process pool and merge back **in spec order**, making the
+merged trajectory byte-identical to a serial run apart from wall-clock
+fields (each worker times its own measurement; event counts and
+simulated time are deterministic).
+
+Targets are named by dotted reference (``"pkg.mod:callable"``) so tasks
+pickle cleanly into workers under both fork and spawn start methods.  A
+target follows a small protocol: called with the task's kwargs, it
+returns a mapping with
+
+* ``events`` — engine events processed (machine-independent),
+* ``sim_us`` — simulated microseconds covered,
+* ``wall_s`` (optional) — self-timed wall seconds for workloads that
+  exclude setup from the measured region; when absent the runner times
+  the whole call,
+* ``extra`` (optional) — metadata merged into the trajectory point,
+* ``checks`` (optional) — ``{name: bool}`` invariants; the parent
+  raises if any is falsy, so a worker can't silently drop a failed
+  scenario assertion.
+
+Per-point seeds: :func:`point_seed` derives a stable seed from the
+``(series, x)`` coordinate, so a point's randomness is a function of
+*which point it is* — never of which worker ran it, or in what order.
+
+:mod:`repro.bench.targets` holds the adapters that wrap the existing
+workloads in this protocol; ``benchmarks/bench_sim_throughput.py``
+builds its whole sweep from them.
+"""
+
+from __future__ import annotations
+
+import importlib
+import multiprocessing
+import os
+import time
+import zlib
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass, field
+from typing import Optional, Sequence
+
+__all__ = ["SweepTask", "point_seed", "run_sweep", "run_task", "sweep_jobs"]
+
+
+def sweep_jobs(default: int = 1) -> int:
+    """Worker count for sweep fan-out.
+
+    Reads ``REPRO_BENCH_JOBS`` (set by ``benchmarks/run.py --jobs`` for
+    the whole suite); 1 means run serially in-process.
+    """
+    raw = os.environ.get("REPRO_BENCH_JOBS", "")
+    try:
+        return max(1, int(raw)) if raw else max(1, default)
+    except ValueError:
+        return max(1, default)
+
+
+def point_seed(series: str, x: float, base: int = 0) -> int:
+    """Deterministic seed for one sweep point.
+
+    Derived from the point's identity (series label + coordinate), so
+    reruns, worker assignment, and completion order can never change a
+    point's random draws.
+    """
+    key = f"{series}|{x!r}|{base}".encode()
+    return zlib.crc32(key) & 0x7FFFFFFF
+
+
+@dataclass(frozen=True)
+class SweepTask:
+    """One independent sweep point: a named target plus its kwargs."""
+
+    series: str
+    x: float
+    #: Dotted target reference, ``"package.module:callable"``.
+    target: str
+    kwargs: dict = field(default_factory=dict)
+    #: Injected into kwargs as ``seed`` when not None (see point_seed).
+    seed: Optional[int] = None
+
+
+def _resolve(target: str):
+    mod_name, sep, fn_name = target.partition(":")
+    if not sep or not mod_name or not fn_name:
+        raise ValueError(f"target must be 'module:callable', got {target!r}")
+    return getattr(importlib.import_module(mod_name), fn_name)
+
+
+def run_task(task: SweepTask) -> dict:
+    """Execute one sweep point; the unit of work a pool worker runs."""
+    fn = _resolve(task.target)
+    kwargs = dict(task.kwargs)
+    if task.seed is not None:
+        kwargs["seed"] = task.seed
+    t0 = time.perf_counter()
+    out = dict(fn(**kwargs))
+    wall_s = time.perf_counter() - t0
+    result = {
+        "series": task.series,
+        "x": task.x,
+        "events": int(out.pop("events")),
+        "sim_us": float(out.pop("sim_us")),
+        "wall_s": float(out.pop("wall_s", wall_s)),
+        "extra": dict(out.pop("extra", {})),
+        "checks": dict(out.pop("checks", {})),
+    }
+    if task.seed is not None:
+        result["extra"].setdefault("seed", task.seed)
+    if out:
+        raise ValueError(f"{task.target}: unexpected result keys {sorted(out)}")
+    return result
+
+
+def run_sweep(tasks: Sequence[SweepTask], jobs: Optional[int] = None) -> list[dict]:
+    """Run every task and return its point dicts in *spec order*.
+
+    ``jobs <= 1`` runs serially in-process — the reference execution the
+    determinism tests compare the parallel merge against.  Any check
+    returned falsy by a target raises :class:`AssertionError` here, in
+    the parent, with the point named.
+    """
+    tasks = list(tasks)
+    jobs = sweep_jobs() if jobs is None else max(1, jobs)
+    if jobs <= 1 or len(tasks) <= 1:
+        results = [run_task(t) for t in tasks]
+    else:
+        # fork (where available) shares the parent's imported modules;
+        # spawn re-imports from PYTHONPATH.  Either way `map` preserves
+        # task order, so the merge is order-stable by construction.
+        methods = multiprocessing.get_all_start_methods()
+        ctx = multiprocessing.get_context("fork" if "fork" in methods else "spawn")
+        with ProcessPoolExecutor(max_workers=jobs, mp_context=ctx) as pool:
+            results = list(pool.map(run_task, tasks, chunksize=1))
+    for res in results:
+        for name, ok in res["checks"].items():
+            assert ok, f"{res['series']} @ x={res['x']}: check failed: {name}"
+    return results

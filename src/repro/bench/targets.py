@@ -1,0 +1,199 @@
+"""Sweep-target adapters: workloads wrapped in the sweep protocol.
+
+Every function here is addressable by dotted name
+(``"repro.bench.targets:<fn>"``) from a :class:`~repro.bench.sweep.SweepTask`
+and returns the mapping the runner expects — ``events`` / ``sim_us``
+plus optional ``wall_s`` / ``extra`` / ``checks`` (see
+:mod:`repro.bench.sweep` for the contract).  Keeping them importable,
+argument-only functions is what lets sweep points pickle into pool
+workers; scenario invariants travel back as ``checks`` so a fan-out run
+fails exactly where a serial run would.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+__all__ = [
+    "churn_reliability",
+    "dispatch_point",
+    "fleet_speedup",
+    "net_contention",
+    "serving_slo",
+]
+
+
+def dispatch_point(
+    system: str,
+    variant: str,
+    n_hosts: int,
+    devices_per_host: int = 8,
+    n_calls: int = 8,
+) -> dict:
+    """One Figure-5 dispatch microbenchmark point (``system``:
+    ``"pathways"`` or ``"jax"``)."""
+    from repro.workloads.microbench import run_jax, run_pathways
+
+    runner = {"pathways": run_pathways, "jax": run_jax}[system]
+    r = runner(variant, n_hosts, devices_per_host=devices_per_host, n_calls=n_calls)
+    return {"events": r.sim_events, "sim_us": r.sim_elapsed_us}
+
+
+def churn_reliability(
+    n_clients: int = 3,
+    steps_per_client: int = 20,
+    slice_devices: int = 512,
+    n_hosts: int = 512,
+    devices_per_host: int = 4,
+    mtbf_us: float = 400_000.0,
+    checkpoint_interval_us: float = 15_000.0,
+) -> dict:
+    """Config-A churn point: multi-tenant training under device churn."""
+    from repro.workloads.churn import run_churn
+
+    r = run_churn(
+        n_clients=n_clients,
+        steps_per_client=steps_per_client,
+        slice_devices=slice_devices,
+        n_hosts=n_hosts,
+        devices_per_host=devices_per_host,
+        mtbf_us=mtbf_us,
+        checkpoint_interval_us=checkpoint_interval_us,
+    )
+    return {
+        "events": r.system_handle.sim.events_processed,
+        "sim_us": r.elapsed_us,
+        "checks": {
+            "all_steps_or_none_abandoned": (
+                r.useful_steps == n_clients * steps_per_client or not r.abandoned
+            ),
+        },
+    }
+
+
+def net_contention(
+    n_senders: int = 4,
+    streams: int = 2,
+    hosts_per_island: int = 4,
+    devices_per_host: int = 4,
+    flow_bytes: int = 8 << 20,
+    duration_us: float = 40_000.0,
+    n_probes: int = 4,
+    crash_sender_at: float = 10_000.0,
+    crash_repair_us: float = 8_000.0,
+) -> dict:
+    """Contended-fabric point: bulk flows + crash/retransmit cycle."""
+    from repro.workloads.netload import run_net_congestion
+
+    r = run_net_congestion(
+        n_senders=n_senders,
+        streams=streams,
+        hosts_per_island=hosts_per_island,
+        devices_per_host=devices_per_host,
+        flow_bytes=flow_bytes,
+        duration_us=duration_us,
+        n_probes=n_probes,
+        crash_sender_at=crash_sender_at,
+        crash_repair_us=crash_repair_us,
+    )
+    return {
+        "events": r.system_handle.sim.events_processed,
+        "sim_us": r.elapsed_us,
+        "checks": {
+            "fabric_idle": r.fabric_idle,
+            "no_probe_failures": r.probe_failures == 0,
+        },
+    }
+
+
+def serving_slo(
+    rate_rps: float = 600.0,
+    duration_us: float = 120_000.0,
+    islands: int = 2,
+    hosts_per_island: int = 2,
+    devices_per_host: int = 4,
+    n_replicas: int = 2,
+    devices_per_replica: int = 4,
+    max_batch: int = 8,
+    slo_us: float = 50_000.0,
+    contention: bool = True,
+    fail_replica_at: float = 50_000.0,
+    repair_us: float = 30_000.0,
+    seed: int = 3,
+) -> dict:
+    """Serving point: Poisson admission, batching, replica-loss recovery."""
+    from repro.workloads.serving import run_serving
+
+    r = run_serving(
+        rate_rps=rate_rps,
+        duration_us=duration_us,
+        islands=islands,
+        hosts_per_island=hosts_per_island,
+        devices_per_host=devices_per_host,
+        n_replicas=n_replicas,
+        devices_per_replica=devices_per_replica,
+        max_batch=max_batch,
+        slo_us=slo_us,
+        contention=contention,
+        fail_replica_at=fail_replica_at,
+        repair_us=repair_us,
+        seed=seed,
+    )
+    return {
+        "events": r.system_handle.sim.events_processed,
+        "sim_us": r.elapsed_us,
+        "checks": {
+            "none_abandoned": r.abandoned == 0,
+            "completed_some": r.completed > 0,
+            "recovered": r.recoveries >= 1,
+            "fabric_idle": r.fabric_idle,
+        },
+    }
+
+
+def fleet_speedup(
+    n_cells: int,
+    repeats: int = 3,
+    duration_us: float = 20_000.0,
+    min_speedup: Optional[float] = 2.0,
+    seed: int = 12345,
+) -> dict:
+    """FLEET-C point: config-C fleet timer load, calendar vs heap.
+
+    Runs the identical fleet population on the heap core and then the
+    calendar core back to back in this one process, so the two
+    measurements share cache/GC conditions and their ratio is stable
+    even when other sweep points run concurrently.  The reported point
+    is the *calendar* measurement (the shipping engine); the heap
+    reference and the speedup land in ``extra``.
+    """
+    from repro.workloads.fleet import run_fleet_telemetry
+
+    heap = run_fleet_telemetry(
+        n_cells, repeats=repeats, duration_us=duration_us,
+        timer_queue="heap", seed=seed,
+    )
+    cal = run_fleet_telemetry(
+        n_cells, repeats=repeats, duration_us=duration_us,
+        timer_queue="calendar", seed=seed,
+    )
+    speedup = (
+        cal.events_per_sec / heap.events_per_sec if heap.events_per_sec else 0.0
+    )
+    checks = {"same_schedule": cal.repeat_events == heap.repeat_events}
+    if min_speedup is not None:
+        checks[f"calendar_speedup_>={min_speedup:g}x"] = speedup >= min_speedup
+    return {
+        "events": cal.sim_events,
+        "sim_us": cal.sim_elapsed_us,
+        "wall_s": cal.wall_s,
+        "extra": {
+            "active_timers": cal.active_timers,
+            "dormant_timers": cal.dormant_timers,
+            "setup_wall_s": cal.setup_wall_s,
+            "heap_events_per_sec": heap.events_per_sec,
+            "calendar_events_per_sec": cal.events_per_sec,
+            "speedup": speedup,
+        },
+        "checks": checks,
+    }

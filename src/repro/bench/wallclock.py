@@ -84,17 +84,37 @@ class WallclockRecorder:
         t0 = time.perf_counter()
         result = fn()
         wall_s = time.perf_counter() - t0
-        self.points.append(
-            WallclockPoint(
-                series=series,
-                x=x,
-                wall_s=wall_s,
-                events=int(events(result)),
-                sim_us=float(sim_us(result)),
-                extra=dict(extra),
-            )
+        self.add_point(
+            series, x,
+            wall_s=wall_s,
+            events=int(events(result)),
+            sim_us=float(sim_us(result)),
+            **extra,
         )
         return result
+
+    def add_point(
+        self,
+        series: str,
+        x: float,
+        wall_s: float,
+        events: int,
+        sim_us: float,
+        **extra: Any,
+    ) -> WallclockPoint:
+        """Record an already-measured point (e.g. merged from a
+        :func:`repro.bench.sweep.run_sweep` fan-out, where each worker
+        times its own measurement)."""
+        point = WallclockPoint(
+            series=series,
+            x=x,
+            wall_s=float(wall_s),
+            events=int(events),
+            sim_us=float(sim_us),
+            extra=dict(extra),
+        )
+        self.points.append(point)
+        return point
 
     # -- aggregates ---------------------------------------------------------
     @property

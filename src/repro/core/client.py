@@ -113,6 +113,16 @@ class PathwaysClient:
         #: the cause; disjoint bookkeeping from deadline rejections.
         self.executions_abandoned = 0
 
+    def stats(self):
+        """Frozen per-client snapshot (unified ``repro.stats`` protocol)."""
+        from repro.stats import ClientStats
+
+        return ClientStats(
+            name=self.name,
+            deadline_rejections=self.deadline_rejections,
+            executions_abandoned=self.executions_abandoned,
+        )
+
     # -- wrapping & tracing --------------------------------------------------
     def wrap(self, fn: CompiledFunction, devices: VirtualSlice) -> PwCallable:
         """Bind a compiled function to a slice (cf. ``jax.pmap``)."""

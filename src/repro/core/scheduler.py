@@ -255,6 +255,21 @@ class IslandScheduler:
         """Signal that a granted computation finished executing."""
         self._incoming.push(("done", req))
 
+    def stats(self):
+        """Frozen scheduler snapshot (unified ``repro.stats`` protocol)."""
+        from repro.stats import SchedulerStats
+
+        return SchedulerStats(
+            island_id=self.island.island_id,
+            decisions=self.decisions,
+            pending=len(self._pending),
+            live_grants=len(self._live_grants),
+            evictions=self.evictions,
+            deadline_evictions=self.deadline_evictions,
+            stale_completions=self.stale_completions,
+            rejected_draining=self.rejected_draining,
+        )
+
     # -- fault tolerance ----------------------------------------------------
     def evict_device(self, device_id: int) -> None:
         """A device failed: fail every pending grant that names it and

@@ -76,6 +76,8 @@ class PathwaysSystem:
         #: Attached by :class:`repro.resilience.ElasticController`;
         #: mediates elastic scale-up and island drain/handback.
         self.elastic = None
+        #: Serving frontends register themselves here (repro.serve).
+        self.frontends: list = []
         # counters
         self.programs_dispatched = 0
         self.computations_executed = 0
@@ -179,3 +181,30 @@ class PathwaysSystem:
     # -- resilience --------------------------------------------------------
     def healthy_device_count(self) -> int:
         return sum(isl.n_healthy for isl in self.cluster.islands)
+
+    # -- observability -----------------------------------------------------
+    def stats(self):
+        """One frozen snapshot of the whole stack.
+
+        Aggregates the engine, dispatch counters, every island
+        scheduler, every client, the transport, any serving frontends,
+        and (when attached) the recovery manager — the unified
+        ``repro.stats`` protocol, uniformly serializable via
+        ``.as_dict()``.
+        """
+        from repro.stats import SystemStats
+
+        return SystemStats(
+            sim=self.sim.stats(),
+            programs_dispatched=self.programs_dispatched,
+            computations_executed=self.computations_executed,
+            schedulers=tuple(
+                self._schedulers[i].stats() for i in sorted(self._schedulers)
+            ),
+            clients=tuple(
+                self._clients[name].stats() for name in sorted(self._clients)
+            ),
+            net=self.transport.stats(),
+            serve=tuple(f.stats() for f in self.frontends),
+            recovery=self.recovery.stats() if self.recovery is not None else None,
+        )

@@ -77,6 +77,21 @@ class RecoveryManager:
         system.transport.add_loss_listener(self._on_message_lost)
         system.recovery = self
 
+    def stats(self):
+        """Frozen fault-handling snapshot (unified ``repro.stats`` protocol)."""
+        from repro.stats import RecoveryStats
+
+        return RecoveryStats(
+            epoch=self.epoch,
+            device_failures=self.device_failures,
+            host_crashes=self.host_crashes,
+            preemptions=self.preemptions,
+            repairs=self.repairs,
+            remaps=self.remaps,
+            programs_recovered=self.programs_recovered,
+            messages_lost=self.messages_lost,
+        )
+
     # -- fault injection entry point ----------------------------------------
     def inject(self, event: FaultEvent) -> None:
         """Apply one scheduled fault (called by the FaultInjector)."""

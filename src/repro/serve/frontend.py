@@ -145,6 +145,21 @@ class Frontend:
             name="serve_drained" if self.sim.debug_names else ""
         )
         self._req_ids = 0
+        #: Registered for ``PathwaysSystem.stats()`` aggregation.
+        getattr(system, "frontends", []).append(self)
+
+    def stats(self):
+        """Frozen serving snapshot (unified ``repro.stats`` protocol)."""
+        from repro.stats import ServeStats
+
+        return ServeStats(
+            arrived=self.arrived,
+            admitted=self.admitted,
+            completed=self.completed,
+            abandoned=self.abandoned,
+            rejections=dict(self.rejections),
+            latency=self.recorder.snapshot(),
+        )
 
     # -- ingress -------------------------------------------------------------
     def submit_from(

@@ -13,13 +13,16 @@ processes are blocked when the event queue drains while work remains).
 from repro.sim.engine import (
     AllOf,
     AnyOf,
+    CalendarTimerQueue,
     DeadlockError,
     Event,
+    HeapTimerQueue,
     Interrupt,
     Process,
     ProcessFailed,
     Settled,
     Simulator,
+    Ticker,
     Timeout,
 )
 from repro.sim.resources import Resource, Store
@@ -27,8 +30,10 @@ from repro.sim.resources import Resource, Store
 __all__ = [
     "AllOf",
     "AnyOf",
+    "CalendarTimerQueue",
     "DeadlockError",
     "Event",
+    "HeapTimerQueue",
     "Interrupt",
     "Process",
     "ProcessFailed",
@@ -36,5 +41,6 @@ __all__ = [
     "Settled",
     "Simulator",
     "Store",
+    "Ticker",
     "Timeout",
 ]

@@ -7,9 +7,9 @@ sub-unit fractions dominating.
 
 Determinism: ties in event time are broken by scheduling order — a FIFO
 ring for events scheduled at the current moment, a (time, seq)-ordered
-heap for future timeouts — so two runs of the same program produce
-identical schedules.  Any randomness must come from explicitly seeded
-generators.
+calendar queue for future timeouts — so two runs of the same program
+produce identical schedules.  Any randomness must come from explicitly
+seeded generators.
 
 Performance: this module is the simulator's hot path (a paper-scale
 sweep processes millions of events), so it deliberately trades a little
@@ -23,19 +23,23 @@ f-string names eagerly (helpful in a debugger; measurably slower).
 from __future__ import annotations
 
 import heapq
+import os
 from collections import deque
 from typing import Any, Callable, Generator, Iterable, Optional, Union
 
 __all__ = [
     "AllOf",
     "AnyOf",
+    "CalendarTimerQueue",
     "DeadlockError",
     "Event",
+    "HeapTimerQueue",
     "Interrupt",
     "Process",
     "ProcessFailed",
     "Settled",
     "Simulator",
+    "Ticker",
     "Timeout",
 ]
 
@@ -200,6 +204,88 @@ class Timeout(Event):
     @property
     def name(self) -> str:
         return self._name or f"timeout({self.delay:g})"
+
+
+class Ticker(Event):
+    """A self-re-arming periodic timer, processed entirely in place.
+
+    Fleet-scale scenarios keep hundreds of thousands of recurring
+    clocks alive at once — host heartbeats, per-device telemetry
+    scrapes, failure scanners.  Driving each tick through
+    ``timeout(...).add_callback(...)`` allocates an event, a callbacks
+    list, and a dispatch per tick; a Ticker is *one* event object
+    re-armed forever.  Each tick runs ``action(ticker)`` and, unless
+    :meth:`stop` was called, re-schedules the same object
+    ``next_delay()`` microseconds ahead — zero per-tick allocation,
+    which also keeps the cyclic GC's allocation counters out of the
+    hot loop.
+
+    A Ticker never *triggers* in the Event sense: it cannot be yielded
+    on from a process and must not be given callbacks or succeeded;
+    ``stop()`` ends it (lazily — a queued occurrence is consumed as a
+    no-op).  ``next_delay`` returning ``0`` re-arms at the same instant
+    via the immediate queue, exactly like a zero-delay timeout.
+    """
+
+    __slots__ = ("action", "next_delay", "period", "ticks", "stopped")
+
+    def __init__(
+        self,
+        sim: "Simulator",
+        next_delay: Union[float, Callable[[], float]],
+        action: Callable[["Ticker"], None],
+        name: LazyName = "",
+        start_delay: Optional[float] = None,
+    ):
+        self.sim = sim
+        self._name = name
+        self._value = _PENDING
+        self._exc = None
+        self.callbacks = []
+        if callable(next_delay):
+            #: Fixed-period tickers (telemetry scrapes, heartbeats) pass a
+            #: plain number and skip the per-tick callable dispatch.
+            self.period = None
+            self.next_delay = next_delay
+            first = next_delay() if start_delay is None else start_delay
+        else:
+            period = float(next_delay)
+            if period < 0:
+                raise ValueError(f"negative ticker period: {period}")
+            self.period = period
+            self.next_delay = None
+            first = period if start_delay is None else start_delay
+        self.action = action
+        #: Number of times this ticker has fired.
+        self.ticks = 0
+        self.stopped = False
+        if first < 0:
+            raise ValueError(f"negative ticker delay: {first}")
+        sim._schedule_at(self, first)
+
+    def stop(self) -> None:
+        """Stop re-arming after (and including) the next occurrence."""
+        self.stopped = True
+
+    def _process_callbacks(self) -> None:
+        if self.stopped:
+            return
+        self.ticks += 1
+        self.action(self)
+        if not self.stopped:
+            # Inline of Simulator._schedule_at: with O(100k) tickers live
+            # this is the single hottest re-arm path in fleet runs, and
+            # the extra method call is measurable.
+            sim = self.sim
+            delay = self.period
+            if delay is None:
+                delay = self.next_delay()
+            when = sim._now + delay
+            if when <= sim._now:
+                sim._immediate.append(self)
+            else:
+                sim._seq += 1
+                sim._queue.push(when, sim._seq, self)
 
 
 class AllOf(Event):
@@ -477,6 +563,315 @@ class Process(Event):
             callbacks.append(self._resume)
 
 
+#: "No scheduled timer" sentinel for the timer queues' ``min_when``.
+_INF = float("inf")
+
+
+class HeapTimerQueue:
+    """The classic timer store: one global ``(time, seq, event)`` heap.
+
+    This is the baseline shape the calendar queue replaces (FTL-SIM's
+    ``event.py`` loop is exactly this).  It is kept for two reasons:
+
+    * **reference model** — the calendar-queue property tests drive both
+      implementations with identical push streams and assert identical
+      pop streams;
+    * **A/B benchmarking** — ``Simulator(timer_queue="heap")`` (or
+      ``REPRO_SIM_TIMER_QUEUE=heap``) lets the throughput bench measure
+      the calendar core against the heap core on the same workload.
+
+    Both implementations expose the same surface: ``push(when, seq,
+    event)``, ``pop() -> (when, seq, event)`` in exact ``(when, seq)``
+    order, ``min_when`` (``inf`` when empty), and ``len``.
+    """
+
+    __slots__ = ("_heap", "_len", "min_when")
+
+    def __init__(self) -> None:
+        self._heap: list[tuple[float, int, Any]] = []
+        self._len = 0
+        #: Time of the earliest entry; ``inf`` when empty.  An attribute
+        #: rather than a method: the drain loop reads it per iteration.
+        self.min_when = _INF
+
+    def __len__(self) -> int:
+        return self._len
+
+    def push(self, when: float, seq: int, event: Any) -> None:
+        heapq.heappush(self._heap, (when, seq, event))
+        self._len += 1
+        if when < self.min_when:
+            self.min_when = when
+
+    def pop(self) -> tuple[float, int, Any]:
+        entry = heapq.heappop(self._heap)
+        self._len -= 1
+        heap = self._heap
+        self.min_when = heap[0][0] if heap else _INF
+        return entry
+
+
+class CalendarTimerQueue:
+    """A bucketed calendar queue over ``(time, seq, event)`` entries.
+
+    Future timeouts land in fixed-width time buckets (a dict keyed by
+    ``int(when / width)``), so a push is O(1) — an int multiply and a
+    list append — instead of an O(log n) global-heap sift.  Ordering
+    machinery only ever runs over *small* populations:
+
+    * ``_bucket_heap`` — a heap of the occupied bucket indices (one
+      entry per occupied bucket, not per event);
+    * ``_current`` — the minimum bucket, heapified on load (C-speed
+      O(k)) and drained in exact ``(when, seq)`` order.  Same-bucket
+      pushes during the drain heappush into this small heap.
+
+    Entries beyond the wheel's horizon (``n_buckets * width`` past the
+    current window) go to an unsorted **overflow ring** and are
+    redistributed when the wheel empties — a rotation.  Because the
+    wheel is empty at that point, the overflow *is* the whole pending
+    population, so the rotation re-sizes the calendar in the same pass:
+    bucket width spreads the population at ``_ROTATE_OCCUPANCY`` entries
+    per bucket over its actual time span, and the wheel grows with the
+    population so the window keeps covering it.  Skew the span can't
+    see (a dense cluster behind a far-future outlier) is corrected on
+    load instead: a bucket loaded with more than ``_RESIZE_SPLIT``
+    entries shrinks the width and re-buckets (bucket resize on load).
+    All resize decisions are pure functions of the pending population,
+    so two identical runs resize identically.
+
+    The pop stream is byte-identical to :class:`HeapTimerQueue`'s: the
+    bucket index is monotone in ``when``, every bucket entry precedes
+    every overflow entry, and ties within a bucket resolve by ``seq``
+    (sequence numbers are unique, so event objects are never compared).
+    """
+
+    __slots__ = (
+        "_width", "_inv", "_n_buckets", "_min_width", "_max_width",
+        "_buckets", "_bucket_heap", "_current", "_current_idx",
+        "_overflow", "_horizon", "_len", "min_when", "_free",
+    )
+
+    #: A bucket loaded with more entries than this shrinks the width.
+    _RESIZE_SPLIT = 64
+    #: Rotations re-size for about this many entries per occupied bucket.
+    _ROTATE_OCCUPANCY = 16
+
+    def __init__(
+        self,
+        width: float = 32.0,
+        n_buckets: int = 1024,
+        min_width: float = 1e-3,
+        max_width: float = float(1 << 22),
+    ) -> None:
+        if width <= 0 or n_buckets < 2:
+            raise ValueError("width > 0 and n_buckets >= 2 required")
+        self._width = width
+        self._inv = 1.0 / width
+        self._n_buckets = n_buckets
+        self._min_width = min_width
+        self._max_width = max_width
+        self._buckets: dict[int, list] = {}
+        self._bucket_heap: list[int] = []
+        self._current: list = []
+        self._current_idx = -1
+        self._overflow: list = []
+        #: First pushes overflow, and the first pop's rotation aligns
+        #: the wheel window to the earliest entry — self-initializing.
+        self._horizon = 0.0
+        self._len = 0
+        self.min_when = _INF
+        #: Recycled (drained) bucket lists.  Bucket churn without a
+        #: freelist creates/destroys thousands of young container
+        #: objects per wheel revolution, which drags the cyclic GC into
+        #: repeated full-generation scans over every pending entry; at
+        #: fleet scale that costs more than the queue work itself.
+        self._free: list[list] = []
+
+    def __len__(self) -> int:
+        return self._len
+
+    @property
+    def width(self) -> float:
+        """Current bucket width in µs (adapts to load)."""
+        return self._width
+
+    def push(self, when: float, seq: int, event: Any) -> None:
+        entry = (when, seq, event)
+        self._len += 1
+        if when < self.min_when:
+            self.min_when = when
+        if when >= self._horizon:
+            self._overflow.append(entry)
+            return
+        idx = int(when * self._inv)
+        if idx == self._current_idx:
+            # Lands in the bucket being drained: join its small heap.
+            heapq.heappush(self._current, entry)
+            return
+        b = self._buckets.get(idx)
+        if b is None:
+            free = self._free
+            if free:
+                b = free.pop()
+                b.append(entry)
+            else:
+                b = [entry]
+            self._buckets[idx] = b
+            heapq.heappush(self._bucket_heap, idx)
+        else:
+            b.append(entry)
+
+    def pop(self) -> tuple[float, int, Any]:
+        cur = self._current
+        if not cur or cur[0][0] > self.min_when:
+            # The minimum lives in another bucket: before the first pop
+            # of a window, a push may land *below* the loaded bucket.
+            self._reload()
+            cur = self._current
+        entry = heapq.heappop(cur)
+        self._len -= 1
+        if cur:
+            self.min_when = cur[0][0]
+        elif self._buckets or self._overflow:
+            self._free.append(cur)
+            self._load_next()
+        else:
+            self.min_when = _INF
+        return entry
+
+    # -- internals -----------------------------------------------------
+    def _reload(self) -> None:
+        """Unload the current bucket (if any) and load the minimum one."""
+        cur = self._current
+        if cur:
+            # Already heap-ordered, which is fine for a plain bucket
+            # list; it is re-heapified on its next load.
+            self._buckets[self._current_idx] = cur
+            heapq.heappush(self._bucket_heap, self._current_idx)
+        self._current = []
+        self._current_idx = -1
+        self._load_next()
+
+    def _load_next(self) -> None:
+        """Load the minimum occupied bucket into ``_current``.
+
+        Caller guarantees entries exist somewhere and ``_current`` is
+        empty.  Over-full buckets trigger the halve-and-re-bucket path
+        before the load completes.
+        """
+        while True:
+            if not self._buckets:
+                self._rotate()
+            idx = heapq.heappop(self._bucket_heap)
+            bucket = self._buckets.pop(idx)
+            if len(bucket) <= self._RESIZE_SPLIT or self._width <= self._min_width:
+                break
+            # Bucket resize on load: too many entries share one bucket —
+            # shrink the width so this bucket splits down to roughly
+            # half the threshold, in ONE re-bucketing pass (repeated
+            # halving would re-bucket the whole population per step).
+            factor = 2
+            target = len(bucket) // (self._RESIZE_SPLIT // 2)
+            while factor < target:
+                factor <<= 1
+            self._rebucket(bucket, self._width / factor)
+        if len(bucket) > 1:
+            heapq.heapify(bucket)
+        self._current = bucket
+        self._current_idx = idx
+        self.min_when = bucket[0][0]
+
+    def _rebucket(self, pending: list, new_width: float) -> None:
+        """Collapse everything into the overflow ring and re-distribute
+        at ``new_width`` (deterministic: bucket lists keep push order,
+        dict iteration is insertion-ordered)."""
+        entries = self._overflow
+        entries.extend(pending)
+        pending.clear()
+        free = self._free
+        free.append(pending)
+        for b in self._buckets.values():
+            entries.extend(b)
+            b.clear()
+            free.append(b)
+        self._buckets.clear()
+        self._bucket_heap.clear()
+        self._width = max(new_width, self._min_width)
+        self._inv = 1.0 / self._width
+        self._horizon = 0.0
+        self._overflow = entries
+        # keep_width: the caller just *chose* this width because the
+        # population is skewed; the span heuristic would undo it.
+        self._rotate(keep_width=True)
+
+    def _rotate(self, keep_width: bool = False) -> None:
+        """Advance the wheel window to the earliest overflow entry and
+        redistribute the overflow ring into buckets.
+
+        Only called with an empty wheel and a non-empty overflow, so the
+        overflow is the entire pending population — which makes this the
+        natural re-sizing point: pick the bucket width that spreads the
+        population at ``_ROTATE_OCCUPANCY`` entries per bucket over its
+        actual span, and grow the wheel with the population (buckets
+        live in a dict, so only occupied ones cost memory).
+        """
+        overflow = self._overflow
+        n = len(overflow)
+        if n > 1:
+            # Lexicographic min/max of (when, seq, ...) tuples: seq is
+            # unique, so [0] is the exact min/max time, C-speed.
+            base_when = min(overflow)[0]
+            if not keep_width:
+                span = max(overflow)[0] - base_when
+                if span > 0.0:
+                    width = span * self._ROTATE_OCCUPANCY / n
+                    if width < self._min_width:
+                        width = self._min_width
+                    elif width > self._max_width:
+                        width = self._max_width
+                    self._width = width
+                    self._inv = 1.0 / width
+        else:
+            base_when = overflow[0][0]
+        want = 1 << max(n >> 3, 512).bit_length()
+        if want > self._n_buckets:
+            self._n_buckets = want
+        limit_idx = int(base_when * self._inv) + self._n_buckets
+        self._horizon = horizon = limit_idx * self._width
+        buckets = self._buckets
+        bucket_heap = self._bucket_heap
+        free = self._free
+        keep: list = free.pop() if free else []
+        inv = self._inv
+        for entry in overflow:
+            if entry[0] < horizon:
+                idx = int(entry[0] * inv)
+                b = buckets.get(idx)
+                if b is None:
+                    if free:
+                        b = free.pop()
+                        b.append(entry)
+                    else:
+                        b = [entry]
+                    buckets[idx] = b
+                    heapq.heappush(bucket_heap, idx)
+                else:
+                    b.append(entry)
+            else:
+                keep.append(entry)
+        overflow.clear()
+        free.append(overflow)
+        self._overflow = keep
+
+
+#: Timer-queue registry for ``Simulator(timer_queue=...)`` /
+#: ``REPRO_SIM_TIMER_QUEUE``.
+_TIMER_QUEUES = {
+    "calendar": CalendarTimerQueue,
+    "heap": HeapTimerQueue,
+}
+
+
 class Simulator:
     """The event loop.
 
@@ -498,12 +893,16 @@ class Simulator:
 
     * ``_immediate`` — a FIFO of events triggered *at the current
       moment*; appended in trigger order, which **is** sequence order.
-    * ``_queue`` — a heap of ``(time, seq, event)`` for future timeouts.
+    * ``_queue`` — a timer queue of ``(time, seq, event)`` for future
+      timeouts: a :class:`CalendarTimerQueue` by default, or the
+      reference :class:`HeapTimerQueue` via ``timer_queue="heap"`` /
+      ``REPRO_SIM_TIMER_QUEUE=heap``.  Both pop in identical
+      ``(time, seq)`` order, so schedules are byte-identical.
 
-    Any heap entry with time equal to ``now`` was necessarily scheduled
-    at an earlier moment (zero-delay scheduling never touches the heap),
-    so it precedes every entry of ``_immediate`` in sequence order; the
-    loop therefore drains same-time heap entries first.
+    Any timer entry with time equal to ``now`` was necessarily scheduled
+    at an earlier moment (zero-delay scheduling never touches the timer
+    queue), so it precedes every entry of ``_immediate`` in sequence
+    order; the loop therefore drains same-time timer entries first.
 
     ``debug_names=True`` makes components attach their rich f-string
     event names eagerly (slower; great under a debugger).  ``log_schedule``
@@ -511,9 +910,25 @@ class Simulator:
     :attr:`schedule_log` — the golden-determinism tests diff these.
     """
 
-    def __init__(self, debug_names: bool = False, log_schedule: bool = False) -> None:
+    def __init__(
+        self,
+        debug_names: bool = False,
+        log_schedule: bool = False,
+        timer_queue: Optional[str] = None,
+    ) -> None:
         self._now: float = 0.0
-        self._queue: list[tuple[float, int, Event]] = []
+        if timer_queue is None:
+            timer_queue = os.environ.get("REPRO_SIM_TIMER_QUEUE", "calendar")
+        try:
+            queue_cls = _TIMER_QUEUES[timer_queue]
+        except KeyError:
+            raise ValueError(
+                f"unknown timer_queue {timer_queue!r}; "
+                f"expected one of {sorted(_TIMER_QUEUES)}"
+            ) from None
+        #: Which timer-queue implementation backs this simulator.
+        self.timer_queue = timer_queue
+        self._queue = queue_cls()
         self._immediate: deque = deque()
         self._seq = 0
         self._live_processes: set[Process] = set()
@@ -597,6 +1012,18 @@ class Simulator:
             to = cached[key] = Timeout(self, delay)
         return to
 
+    def ticker(
+        self,
+        next_delay: Union[float, Callable[[], float]],
+        action: Callable[[Ticker], None],
+        name: LazyName = "",
+        start_delay: Optional[float] = None,
+    ) -> Ticker:
+        """A recurring timer: ``action(ticker)`` every ``next_delay()`` µs
+        — or every ``next_delay`` µs flat when given a plain number
+        (allocation-free per tick; see :class:`Ticker`)."""
+        return Ticker(self, next_delay, action, name=name, start_delay=start_delay)
+
     def process(
         self, generator: Generator, name: LazyName = "", daemon: bool = False
     ) -> Process:
@@ -631,15 +1058,15 @@ class Simulator:
             self._immediate.append(event)
         else:
             self._seq += 1
-            heapq.heappush(self._queue, (when, self._seq, event))
+            self._queue.push(when, self._seq, event)
 
     # -- execution -----------------------------------------------------
     def step(self) -> None:
         """Process the single next event."""
         immediate = self._immediate
         queue = self._queue
-        if queue and (not immediate or queue[0][0] <= self._now):
-            when, _, event = heapq.heappop(queue)
+        if queue._len and (not immediate or queue.min_when <= self._now):
+            when, _, event = queue.pop()
             self._now = when
         else:
             event = immediate.popleft()
@@ -652,7 +1079,66 @@ class Simulator:
         """Time of the next event; caller guarantees one exists."""
         if self._immediate:
             return self._now
-        return self._queue[0][0]
+        return self._queue.min_when
+
+    def _drain(self, until: Optional[float], waited: Optional[Event]) -> bool:
+        """The one drain loop behind :meth:`run` and
+        :meth:`run_until_triggered`.
+
+        ``waited=None`` is run-mode: drain until both queues empty, or —
+        if ``until`` is set — stop the clock there and return ``False``
+        (cut short; pending work remains, so the caller must not
+        deadlock-check).  With a ``waited`` event the loop runs until it
+        triggers, raising :class:`TimeoutError` past ``until`` and
+        :class:`DeadlockError` if the queues drain first.  Returns
+        ``True`` when the drain ran to its natural stop condition.
+        """
+        immediate = self._immediate
+        queue = self._queue
+        queue_pop = queue.pop
+        log = self.schedule_log
+        # ``inf`` lets the horizon checks run branch-free when no limit is
+        # set: ``min_when > inf`` is never true.
+        limit = _INF if until is None else until
+        processed = 0
+        try:
+            while True:
+                if waited is None:
+                    if not (immediate or queue._len):
+                        break
+                elif waited._value is not _PENDING or waited._exc is not None:
+                    break
+                if queue._len and (not immediate or queue.min_when <= self._now):
+                    if queue.min_when > limit:
+                        if waited is None:
+                            self._now = limit
+                            return False
+                        raise TimeoutError(
+                            f"event {waited.name!r} not triggered by t={limit:.3f}us"
+                        )
+                    when, _, event = queue_pop()
+                    self._now = when
+                elif immediate:
+                    if waited is not None and self._now > limit:
+                        raise TimeoutError(
+                            f"event {waited.name!r} not triggered by t={limit:.3f}us"
+                        )
+                    event = immediate.popleft()
+                else:
+                    # Both queues empty mid-loop: only reachable when a
+                    # waited event is still pending.
+                    raise DeadlockError(
+                        f"event {waited.name!r} can never trigger: queue drained "
+                        f"at t={self._now:.3f}us",
+                        self._live_processes,
+                    )
+                processed += 1
+                if log is not None:
+                    log.append((self._now, event.name))
+                event._process_callbacks()
+        finally:
+            self.events_processed += processed
+        return True
 
     def run(
         self,
@@ -665,28 +1151,10 @@ class Simulator:
         processes are still blocked and ``detect_deadlock`` is set,
         raises :class:`DeadlockError` naming the stuck processes.
         """
-        immediate = self._immediate
-        queue = self._queue
-        pop = heapq.heappop
-        log = self.schedule_log
-        processed = 0
-        try:
-            while immediate or queue:
-                if queue and (not immediate or queue[0][0] <= self._now):
-                    when = queue[0][0]
-                    if until is not None and when > until:
-                        self._now = until
-                        return until
-                    when, _, event = pop(queue)
-                    self._now = when
-                else:
-                    event = immediate.popleft()
-                processed += 1
-                if log is not None:
-                    log.append((self._now, event.name))
-                event._process_callbacks()
-        finally:
-            self.events_processed += processed
+        if not self._drain(until, None):
+            # Cut short at ``until`` with work still pending: blocked
+            # processes are expected, not deadlocked.
+            return self._now
         stuck = [p for p in self._live_processes if not p.daemon]
         if detect_deadlock and stuck:
             blocked = sorted(stuck, key=lambda p: p.name)
@@ -701,37 +1169,19 @@ class Simulator:
 
     def run_until_triggered(self, event: Event, limit: Optional[float] = None) -> Any:
         """Run just far enough for ``event`` to trigger; return its value."""
-        immediate = self._immediate
-        queue = self._queue
-        pop = heapq.heappop
-        log = self.schedule_log
-        processed = 0
-        try:
-            while event._value is _PENDING and event._exc is None:
-                if queue and (not immediate or queue[0][0] <= self._now):
-                    when = queue[0][0]
-                    if limit is not None and when > limit:
-                        raise TimeoutError(
-                            f"event {event.name!r} not triggered by t={limit:.3f}us"
-                        )
-                    when, _, current = pop(queue)
-                    self._now = when
-                elif immediate:
-                    if limit is not None and self._now > limit:
-                        raise TimeoutError(
-                            f"event {event.name!r} not triggered by t={limit:.3f}us"
-                        )
-                    current = immediate.popleft()
-                else:
-                    raise DeadlockError(
-                        f"event {event.name!r} can never trigger: queue drained "
-                        f"at t={self._now:.3f}us",
-                        self._live_processes,
-                    )
-                processed += 1
-                if log is not None:
-                    log.append((self._now, current.name))
-                current._process_callbacks()
-        finally:
-            self.events_processed += processed
+        self._drain(limit, event)
         return event.value
+
+    # -- observability ------------------------------------------------------
+    def stats(self):
+        """Frozen engine snapshot (the unified ``repro.stats`` protocol)."""
+        from repro.stats import SimStats
+
+        return SimStats(
+            now_us=self._now,
+            events_processed=self.events_processed,
+            pending_timers=self._queue._len,
+            immediate_depth=len(self._immediate),
+            live_processes=len(self._live_processes),
+            timer_queue=self.timer_queue,
+        )

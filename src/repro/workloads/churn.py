@@ -287,6 +287,7 @@ def run_churn(
     if injector is not None:
         injector.stop()
 
+    recovery_stats = recovery.stats()
     return ChurnResult(
         n_clients=n_clients,
         steps_per_client=steps_per_client,
@@ -295,8 +296,8 @@ def run_churn(
         replayed_steps=sum(s["replayed"] for s in stats.values()),
         checkpoint_overhead_us=sum(c.overhead_us for c in checkpoints),
         faults_injected=len(injector.injected) if injector is not None else 0,
-        recoveries=recovery.programs_recovered,
-        remaps=recovery.remaps,
+        recoveries=recovery_stats.programs_recovered,
+        remaps=recovery_stats.remaps,
         devices_added=grown["devices"],
         per_client_steps={name: s["done"] for name, s in stats.items()},
         abandoned=[name for name, s in stats.items() if s["abandoned"]],

@@ -264,6 +264,7 @@ def run_net_congestion(
 
     delivered = sum(s["bytes"] for s in sender_stats)
     latencies = probe_stats["latencies"]
+    net = transport.stats()
     nic_slots_leaked = sum(
         h.nic.in_use + h.nic.queue_len for h in system.cluster.hosts
     )
@@ -277,8 +278,8 @@ def run_net_congestion(
         probe_latency_us=(sum(latencies) / len(latencies)) if latencies else 0.0,
         probes_run=len(latencies),
         probe_failures=probe_stats["failures"],
-        messages_lost=transport.messages_lost,
-        retransmits=transport.retransmits,
+        messages_lost=net.messages_lost,
+        retransmits=net.retransmits,
         fabric_idle=system.cluster.fabric.idle,
         nic_slots_leaked=nic_slots_leaked,
         crash_injected=crash,

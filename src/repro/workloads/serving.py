@@ -345,23 +345,27 @@ def run_serving(
     sim.run_until_triggered(driver)
     elapsed = sim.now - start
 
-    snap = recorder.snapshot()
-    arrived = frontend.arrived
+    # The unified snapshot is the one read path for every counter the
+    # result reports: frontend outcomes, latency aggregates, per-client
+    # rejections, transport losses, and recovery all come from a single
+    # consistent ``system.stats()`` tree.
+    sys_stats = system.stats()
+    serve_stats = sys_stats.serve[0]
+    snap = serve_stats.latency
+    arrived = serve_stats.arrived
     slo_attainment = snap.slo_met / arrived if arrived else 1.0
     goodput_rps = snap.slo_met / (duration_us / 1e6)
-    deadline_rejections = sum(
-        c.deadline_rejections for c in system._clients.values()
-    )
+    deadline_rejections = sum(c.deadline_rejections for c in sys_stats.clients)
     return ServingResult(
         arrival=arrival,
         offered_rps=offered_rps,
         duration_us=duration_us,
         elapsed_us=elapsed,
         arrived=arrived,
-        admitted=frontend.admitted,
-        completed=frontend.completed,
-        rejections=dict(frontend.rejections),
-        abandoned=frontend.abandoned,
+        admitted=serve_stats.admitted,
+        completed=serve_stats.completed,
+        rejections=dict(serve_stats.rejections),
+        abandoned=serve_stats.abandoned,
         slo_us=slo_us,
         slo_attainment=slo_attainment,
         goodput_rps=goodput_rps,
@@ -378,8 +382,8 @@ def run_serving(
         scale_downs=replicas.scale_downs,
         width_history=list(replicas.width_history),
         deadline_rejections=deadline_rejections,
-        recoveries=recovery.programs_recovered,
-        messages_lost=system.transport.messages_lost,
+        recoveries=sys_stats.recovery.programs_recovered,
+        messages_lost=sys_stats.net.messages_lost,
         fabric_idle=system.cluster.fabric.idle,
         system_handle=system,
     )

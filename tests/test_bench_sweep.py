@@ -1,0 +1,148 @@
+"""Sweep-runner contract tests: seeding, checks, and merge determinism.
+
+The property CI leans on: a sweep fanned across worker processes merges
+into the *same* trajectory a serial run produces — same order, same
+event counts, same extras — differing only in wall-clock fields.  These
+tests pin that, plus the pieces it's built from (stable per-point
+seeds, dotted-name resolution, parent-side check enforcement).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench import SweepTask, point_seed, run_sweep, sweep_jobs
+from repro.bench.sweep import run_task
+
+# Resolvable in-process (pytest imports this file as ``test_bench_sweep``)
+# and in forked pool workers (they inherit the parent's modules).
+SELF = "test_bench_sweep"
+
+
+def probe(width: int = 4, seed: int = 0) -> dict:
+    return {
+        "events": width * 10 + seed % 7,
+        "sim_us": float(width),
+        "extra": {"width": width},
+        "checks": {"positive": width > 0},
+    }
+
+
+def chatty(**kwargs) -> dict:
+    return {"events": 1, "sim_us": 1.0, "debug_blob": object()}
+
+
+class TestPointSeed:
+    def test_stable_across_calls(self):
+        assert point_seed("CHURN-A", 512) == point_seed("CHURN-A", 512)
+
+    def test_distinct_per_identity(self):
+        seeds = {
+            point_seed("CHURN-A", 512),
+            point_seed("CHURN-A", 1024),
+            point_seed("NET-C", 512),
+            point_seed("CHURN-A", 512, base=1),
+        }
+        assert len(seeds) == 4
+
+    def test_fits_lcg_state(self):
+        assert 0 <= point_seed("s", 1e12) <= 0x7FFFFFFF
+
+
+class TestSweepJobs:
+    def test_default_when_unset(self, monkeypatch):
+        monkeypatch.delenv("REPRO_BENCH_JOBS", raising=False)
+        assert sweep_jobs() == 1
+        assert sweep_jobs(default=4) == 4
+
+    def test_env_wins(self, monkeypatch):
+        monkeypatch.setenv("REPRO_BENCH_JOBS", "3")
+        assert sweep_jobs(default=8) == 3
+
+    def test_garbage_and_floor(self, monkeypatch):
+        monkeypatch.setenv("REPRO_BENCH_JOBS", "banana")
+        assert sweep_jobs() == 1
+        monkeypatch.setenv("REPRO_BENCH_JOBS", "0")
+        assert sweep_jobs() == 1
+
+
+class TestRunTask:
+    def test_normalizes_and_injects_seed(self):
+        res = run_task(
+            SweepTask("S", 4, f"{SELF}:probe", kwargs={"width": 4}, seed=11)
+        )
+        assert res["series"] == "S"
+        assert res["x"] == 4
+        assert res["events"] == 40 + 11 % 7  # seed reached the target
+        assert res["extra"] == {"width": 4, "seed": 11}
+        assert res["wall_s"] > 0  # self-timed fallback
+        assert res["checks"] == {"positive": True}
+
+    def test_no_seed_means_no_injection(self):
+        res = run_task(SweepTask("S", 2, f"{SELF}:probe", kwargs={"width": 2}))
+        assert res["events"] == 20
+        assert "seed" not in res["extra"]
+
+    def test_unexpected_result_keys_rejected(self):
+        with pytest.raises(ValueError, match="debug_blob"):
+            run_task(SweepTask("S", 1, f"{SELF}:chatty"))
+
+    def test_malformed_target_rejected(self):
+        with pytest.raises(ValueError, match="module:callable"):
+            run_task(SweepTask("S", 1, "no_colon_here"))
+
+
+class TestRunSweep:
+    def test_failing_check_names_the_point(self):
+        tasks = [
+            SweepTask("OK", 4, f"{SELF}:probe", kwargs={"width": 4}),
+            SweepTask("BAD", 0, f"{SELF}:probe", kwargs={"width": 0}),
+        ]
+        with pytest.raises(AssertionError, match=r"BAD @ x=0.*positive"):
+            run_sweep(tasks, jobs=1)
+
+    def test_results_in_spec_order(self):
+        tasks = [
+            SweepTask("S", x, f"{SELF}:probe", kwargs={"width": x})
+            for x in (5, 3, 9, 1)
+        ]
+        assert [r["x"] for r in run_sweep(tasks, jobs=1)] == [5, 3, 9, 1]
+
+
+def canonical(points: list[dict]) -> list[dict]:
+    """Strip machine-dependent wall fields; keep what must merge equal."""
+    out = []
+    for p in points:
+        extra = {
+            k: v for k, v in p["extra"].items()
+            if "wall" not in k and "per_sec" not in k and k != "speedup"
+        }
+        out.append({
+            "series": p["series"], "x": p["x"], "events": p["events"],
+            "sim_us": p["sim_us"], "extra": extra, "checks": p["checks"],
+        })
+    return out
+
+
+def test_parallel_merge_matches_serial():
+    """jobs=2 over real workload targets == serial run, field for field
+    (minus wall clock) — the sweep-runner determinism guarantee."""
+    tasks = [
+        SweepTask(
+            "FLEET-C", n, "repro.bench.targets:fleet_speedup",
+            kwargs={"n_cells": n, "repeats": 1, "min_speedup": None},
+            seed=point_seed("FLEET-C", n),
+        )
+        for n in (1, 2)
+    ] + [
+        SweepTask(
+            "PTHWY-1D", 2, "repro.bench.targets:dispatch_point",
+            kwargs={"system": "pathways", "variant": "opbyop", "n_hosts": 2,
+                    "n_calls": 2},
+        ),
+    ]
+    serial = run_sweep(tasks, jobs=1)
+    fanned = run_sweep(tasks, jobs=2)
+    assert canonical(serial) == canonical(fanned)
+    # Wall fields exist in both but are measured independently.
+    assert all(p["wall_s"] > 0 for p in serial + fanned)

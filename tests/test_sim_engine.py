@@ -293,3 +293,111 @@ class TestRun:
         p = sim.process(bad())
         sim.run(detect_deadlock=False)
         assert not p.ok
+
+
+class TestTicker:
+    def test_fixed_period(self, sim):
+        seen = []
+        t = sim.ticker(10.0, lambda tk: seen.append(sim.now))
+        sim.run(until=55.0, detect_deadlock=False)
+        assert seen == [10.0, 20.0, 30.0, 40.0, 50.0]
+        assert t.ticks == 5
+
+    def test_start_delay_offsets_first_tick_only(self, sim):
+        seen = []
+        sim.ticker(10.0, lambda tk: seen.append(sim.now), start_delay=3.0)
+        sim.run(until=35.0, detect_deadlock=False)
+        assert seen == [3.0, 13.0, 23.0, 33.0]
+
+    def test_callable_delays(self, sim):
+        delays = iter([1.0, 2.0, 4.0, 8.0])
+        seen = []
+        sim.ticker(lambda: next(delays), lambda tk: seen.append(sim.now))
+        sim.run(until=7.0, detect_deadlock=False)
+        assert seen == [1.0, 3.0, 7.0]
+
+    def test_stop_from_action(self, sim):
+        def action(tk):
+            if tk.ticks == 3:
+                tk.stop()
+
+        t = sim.ticker(1.0, action)
+        sim.run(detect_deadlock=False)
+        assert t.ticks == 3
+        assert sim.now == 3.0
+
+    def test_stop_cancels_pending_occurrence_lazily(self, sim):
+        """stop() outside the action leaves the scheduled entry in the
+        queue but the tick never fires — lazy cancellation."""
+        seen = []
+        t = sim.ticker(10.0, lambda tk: seen.append(sim.now))
+        sim.run(until=5.0, detect_deadlock=False)
+        t.stop()
+        sim.run(detect_deadlock=False)
+        assert seen == []
+        assert t.ticks == 0
+
+    def test_negative_period_rejected(self, sim):
+        with pytest.raises(ValueError, match="negative"):
+            sim.ticker(-1.0, lambda tk: None)
+
+    def test_negative_start_delay_rejected(self, sim):
+        with pytest.raises(ValueError, match="negative"):
+            sim.ticker(1.0, lambda tk: None, start_delay=-0.5)
+
+    def test_zero_period_runs_as_immediate(self, sim):
+        """A zero-period ticker re-arms onto the immediate queue; it must
+        stop itself or the drain would spin forever."""
+        def action(tk):
+            if tk.ticks == 100:
+                tk.stop()
+
+        t = sim.ticker(0.0, action, start_delay=0.0)
+        sim.run(detect_deadlock=False)
+        assert t.ticks == 100
+        assert sim.now == 0.0
+
+
+class TestDrainDedupe:
+    """run() and run_until_triggered() share one _drain core; both paths
+    must walk the identical (time, name) schedule."""
+
+    @staticmethod
+    def _build(sim):
+        done = sim.event("done")
+
+        def worker(i):
+            for step in range(5):
+                yield sim.timeout((i * 13 + step * 7) % 11)
+            if i == 9:
+                done.succeed()
+
+        for i in range(10):
+            sim.process(worker(i), name=f"w{i}")
+        return done
+
+    def test_identical_schedules(self):
+        a = Simulator(log_schedule=True)
+        self._build(a)
+        a.run()
+
+        b = Simulator(log_schedule=True)
+        done = self._build(b)
+        b.run_until_triggered(done)
+        b.run()  # drain the stragglers past the trigger point
+
+        assert a.schedule_log == b.schedule_log
+        assert a.now == b.now
+        assert a.events_processed == b.events_processed
+
+    def test_run_until_time_then_resume_matches_one_shot(self):
+        a = Simulator(log_schedule=True)
+        self._build(a)
+        a.run()
+
+        b = Simulator(log_schedule=True)
+        self._build(b)
+        for horizon in (3.0, 11.0, 29.0):
+            b.run(until=horizon, detect_deadlock=False)
+        b.run()
+        assert a.schedule_log == b.schedule_log

@@ -1,0 +1,170 @@
+"""The calendar timer queue against the reference heap, property-style.
+
+The calendar queue must be *observationally identical* to a binary heap
+ordered by ``(when, seq)`` — same pop order for every interleaving of
+pushes and pops, across the delay mixes that stress its machinery:
+same-instant ties (seq tiebreak), dense near-future bursts (bucket
+splits), far-future outliers (overflow ring + rotation), and draining
+to empty (horizon rebuild).  The golden-determinism suite then checks
+the same property end to end through real workloads; these tests pin it
+at the queue layer where shrinking is cheap.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sim import CalendarTimerQueue, HeapTimerQueue, Simulator
+
+#: Delay pools chosen to hit every calendar mechanism: sub-width ties,
+#: in-horizon spread, and way-past-horizon overflow.
+WHENS = st.one_of(
+    st.sampled_from([0.0, 1.0, 5.0, 5.0, 32.0]),          # same-instant ties
+    st.floats(min_value=0.0, max_value=1e4),              # in-horizon spread
+    st.floats(min_value=1e8, max_value=1e12),             # far-future overflow
+)
+
+#: An op sequence: push a `when`, or pop (``None``).
+OPS = st.lists(st.one_of(WHENS, st.none()), min_size=1, max_size=200)
+
+
+def run_ops(queue, ops):
+    """Apply pushes/pops; returns the observed pop stream."""
+    seq = 0
+    pops = []
+    for op in ops:
+        if op is None:
+            if len(queue):
+                pops.append(queue.pop())
+        else:
+            seq += 1
+            queue.push(op, seq, f"ev{seq}")
+    while len(queue):
+        pops.append(queue.pop())
+    return pops
+
+
+@given(ops=OPS)
+@settings(max_examples=200, deadline=None)
+def test_pop_order_matches_heap_reference(ops):
+    assert run_ops(CalendarTimerQueue(), ops) == run_ops(HeapTimerQueue(), ops)
+
+
+@given(ops=OPS)
+@settings(max_examples=100, deadline=None)
+def test_min_when_tracks_heap_reference(ops):
+    cal, heap = CalendarTimerQueue(), HeapTimerQueue()
+    seq = 0
+    for op in ops:
+        if op is None:
+            if len(heap):
+                cal.pop()
+                heap.pop()
+        else:
+            seq += 1
+            cal.push(op, seq, None)
+            heap.push(op, seq, None)
+        assert cal.min_when == heap.min_when
+        assert len(cal) == len(heap)
+
+
+def test_zero_delay_burst_pops_in_seq_order():
+    q = CalendarTimerQueue()
+    for seq in range(100):
+        q.push(0.0, seq, seq)
+    assert [q.pop()[1] for _ in range(100)] == list(range(100))
+
+
+def test_far_future_overflow_round_trip():
+    """Entries past the horizon park in the overflow ring and still pop
+    in global order once the near-future population drains."""
+    q = CalendarTimerQueue()
+    q.push(1e9, 1, "far")
+    q.push(1.0, 2, "near")
+    q.push(5e11, 3, "farther")
+    assert q.min_when == 1.0
+    assert [q.pop()[2] for _ in range(3)] == ["near", "far", "farther"]
+    assert len(q) == 0
+
+
+def test_dense_bucket_triggers_resize_and_keeps_order():
+    """10k entries landing in one default-width bucket force the
+    load-time split; order must survive it."""
+    rng = random.Random(7)
+    q, ref = CalendarTimerQueue(), HeapTimerQueue()
+    for seq in range(10_000):
+        when = 5.0 + rng.random() * 20.0  # dense: ~1 default bucket wide
+        q.push(when, seq, seq)
+        ref.push(when, seq, seq)
+    while len(ref):
+        assert q.pop() == ref.pop()
+
+
+def test_interleaved_steady_state_churn():
+    """Timer-wheel steady state: pop one, push one, far beyond the
+    initial horizon — exercises rotation after every horizon exhaustion."""
+    rng = random.Random(3)
+    q, ref = CalendarTimerQueue(), HeapTimerQueue()
+    now, seq = 0.0, 0
+    for seq in range(500):
+        when = now + rng.random() * 1000.0
+        q.push(when, seq, seq)
+        ref.push(when, seq, seq)
+    for seq in range(500, 20_000):
+        got, want = q.pop(), ref.pop()
+        assert got == want
+        now = want[0]
+        when = now + rng.random() * 1000.0
+        q.push(when, seq, seq)
+        ref.push(when, seq, seq)
+
+
+class TestTimerQueueSelection:
+    def test_default_is_calendar(self):
+        assert Simulator().timer_queue == "calendar"
+
+    def test_explicit_heap(self):
+        assert Simulator(timer_queue="heap").timer_queue == "heap"
+
+    def test_env_override(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SIM_TIMER_QUEUE", "heap")
+        assert Simulator().timer_queue == "heap"
+        # Explicit argument beats the environment.
+        assert Simulator(timer_queue="calendar").timer_queue == "calendar"
+
+    def test_unknown_queue_rejected(self):
+        with pytest.raises(ValueError, match="calendar"):
+            Simulator(timer_queue="wheel-of-fortune")
+
+
+class TestEngineCoreEquivalence:
+    """The same seeded program must produce identical schedules on both
+    timer-queue cores (the golden churn/net/serve suites pin this for
+    the calendar default; this pins calendar *against* heap)."""
+
+    @staticmethod
+    def _schedule(timer_queue: str):
+        rng = random.Random(42)
+        sim = Simulator(timer_queue=timer_queue, log_schedule=True)
+
+        def proc(i):
+            for _ in range(10):
+                r = rng.random()
+                if r < 0.1:
+                    yield sim.timeout(0.0)
+                elif r < 0.9:
+                    yield sim.timeout(rng.random() * 100.0)
+                else:
+                    yield sim.timeout(1e7 * rng.random())
+
+        for i in range(50):
+            sim.process(proc(i), name=f"p{i}")
+        sim.run()
+        return list(sim.schedule_log)
+
+    def test_identical_schedules(self):
+        assert self._schedule("calendar") == self._schedule("heap")
