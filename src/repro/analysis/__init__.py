@@ -1,0 +1,58 @@
+"""Simulator-aware static analysis (`python -m repro.analysis`).
+
+The repo's credibility rests on two invariants — byte-identical
+deterministic schedules and exact resource accounting — and every one of
+the first six PRs shipped a hand-found violation of them (an
+insertion-order hash-set bug in the net transport, NIC-slot and
+HBM-grant leaks, eager f-string event names, ``Timeout.triggered``
+misuse).  This package turns those recurring bug classes into
+mechanically checked rules:
+
+* a custom AST lint engine (:mod:`repro.analysis.engine`) with
+  simulator-specific rules RPR001-RPR006
+  (:mod:`repro.analysis.rules`), per-line ``# repro: noqa[RPRxxx]``
+  suppression, and text/JSON output via the CLI
+  (:mod:`repro.analysis.cli`);
+* the runtime half lives in :mod:`repro.sim.sanitize` —
+  ``Simulator(sanitize=True)`` / ``REPRO_SIM_SANITIZE=1`` instruments
+  the engine so leaks the linter cannot see statically fail loudly at
+  drain end.  Its typed errors are re-exported here so callers have one
+  import point for both halves.
+"""
+
+from repro.analysis.engine import (
+    Checker,
+    FileContext,
+    Rule,
+    Violation,
+    check_paths,
+    check_source,
+)
+from repro.analysis.rules import ALL_RULES, rule_table
+from repro.sim.sanitize import (
+    DoubleTriggerError,
+    LeakedCapacityError,
+    PendingTimeoutReadError,
+    SanitizerError,
+    SimSanitizer,
+    UnbalancedGrantError,
+    UnsettledWaitersError,
+)
+
+__all__ = [
+    "ALL_RULES",
+    "Checker",
+    "DoubleTriggerError",
+    "FileContext",
+    "LeakedCapacityError",
+    "PendingTimeoutReadError",
+    "Rule",
+    "SanitizerError",
+    "SimSanitizer",
+    "UnbalancedGrantError",
+    "UnsettledWaitersError",
+    "Violation",
+    "check_paths",
+    "check_source",
+    "rule_table",
+]

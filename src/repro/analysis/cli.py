@@ -1,0 +1,97 @@
+"""Command-line front end: ``python -m repro.analysis check <paths>``.
+
+Exit status is the contract CI relies on: 0 when every checked file is
+clean, 1 when violations were found, 2 on usage errors.  ``--format
+json`` emits a machine-readable report (one object per violation plus a
+summary), which is what editor/CI integrations should consume.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from collections import Counter
+from typing import Optional, Sequence
+
+from repro.analysis.engine import Checker
+from repro.analysis.rules import rule_table
+
+__all__ = ["main"]
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.analysis",
+        description="Simulator-aware static analysis (rules RPR001-RPR006).",
+    )
+    sub = parser.add_subparsers(dest="command")
+
+    check = sub.add_parser(
+        "check", help="lint files/directories; exit 1 on violations"
+    )
+    check.add_argument("paths", nargs="+", help="files or directories to lint")
+    check.add_argument(
+        "--format",
+        choices=("text", "json"),
+        default="text",
+        help="output format (default: text)",
+    )
+    check.add_argument(
+        "--assume-sim",
+        action="store_true",
+        help=(
+            "apply sim-only rules to every file, not just repro package "
+            "sources (used by the fixture tests)"
+        ),
+    )
+
+    sub.add_parser("rules", help="list the rule codes and what they catch")
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = _build_parser()
+    args = parser.parse_args(argv)
+    if args.command == "rules":
+        for row in rule_table():
+            scope = "sim-only" if row["sim_only"] else "everywhere"
+            print(f"{row['code']}  {row['name']:<24} [{scope}] {row['summary']}")
+        return 0
+    if args.command != "check":
+        parser.print_help()
+        return 2
+
+    checker = Checker()
+    violations = checker.check_paths(args.paths, assume_sim=args.assume_sim)
+
+    if args.format == "json":
+        by_code = Counter(v.code for v in violations)
+        print(
+            json.dumps(
+                {
+                    "violations": [v.as_dict() for v in violations],
+                    "summary": {
+                        "total": len(violations),
+                        "by_code": dict(sorted(by_code.items())),
+                    },
+                },
+                indent=2,
+            )
+        )
+    else:
+        for v in violations:
+            print(v.render())
+        if violations:
+            by_code = Counter(v.code for v in violations)
+            breakdown = ", ".join(
+                f"{code}: {n}" for code, n in sorted(by_code.items())
+            )
+            print(f"found {len(violations)} violation(s) ({breakdown})")
+        else:
+            print("all clean")
+    return 1 if violations else 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    sys.exit(main())

@@ -587,7 +587,7 @@ class ProgramExecution:
         """
         recovery = self.system.recovery
         yield self.sim.all_settled(
-            [self._node_done[nid] for nid in self._dispatched]
+            [self._node_done[nid] for nid in sorted(self._dispatched)]
         )
         yield from recovery.recover_program(self)
 

@@ -64,10 +64,10 @@ class InputPipeline:
         for host, store in zip(hosts, self._shards):
             sim.process(
                 self._producer(host, store),
-                name=f"{name}:producer@{host.name}",
+                name=lambda host=host: f"{name}:producer@{host.name}",
                 daemon=True,
             )
-        sim.process(self._assembler(), name=f"{name}:assembler", daemon=True)
+        sim.process(self._assembler(), name=lambda: f"{name}:assembler", daemon=True)
 
     @property
     def shard_cost_us(self) -> float:

@@ -254,7 +254,7 @@ class ResourceManager:
         program construction.
         """
         _, cost = self.compiler.lookup(fn)
-        done = self.sim.event(name=f"compile:{fn.name}")
+        done = self.sim.event(name=lambda: f"compile:{fn.name}")
         if cost <= 0:
             done.succeed(None)
         else:
@@ -262,5 +262,5 @@ class ResourceManager:
                 yield self.sim.timeout(cost)
                 done.succeed(None)
 
-            self.sim.process(_compile(), name=f"compile:{fn.name}")
+            self.sim.process(_compile(), name=lambda: f"compile:{fn.name}")
         return done

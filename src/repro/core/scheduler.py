@@ -209,7 +209,7 @@ class IslandScheduler:
         self._draining = False
         self._drain_waiters: list[Event] = []
         self._proc = sim.process(
-            self._run(), name=f"scheduler[{island.island_id}]", daemon=True
+            self._run(), name=lambda: f"scheduler[{island.island_id}]", daemon=True
         )
 
     def submit(
@@ -317,7 +317,7 @@ class IslandScheduler:
         admitted remains (no pending requests, no granted-but-unfinished
         gangs).
         """
-        drained = self.sim.event(name=f"drained[{self.island.island_id}]")
+        drained = self.sim.event(name=lambda: f"drained[{self.island.island_id}]")
         self._incoming.push(("drain", drained))
         return drained
 

@@ -57,21 +57,32 @@ class Host:
         self.island_id = island_id
         self.devices: list[Device] = []
         debug = sim.debug_names
-        #: Serial CPU doing dispatch/prep work.
+        #: Serial CPU doing dispatch/prep work.  Leak-checked: every
+        #: grant must be released by drain end (the PR-3 slot-leak bug
+        #: class) — the sim-sanitizer enforces it when enabled.
         self.cpu = Resource(
-            sim, capacity=1, name=f"cpu[h{host_id}]" if debug else "cpu"
+            sim,
+            capacity=1,
+            name=f"cpu[h{host_id}]" if debug else "cpu",
+            leak_check=True,
         )
-        #: NIC egress serialization for DCN sends.
+        #: NIC egress serialization for DCN sends (leak-checked too).
         self.nic = Resource(
-            sim, capacity=1, name=f"nic[h{host_id}]" if debug else "nic"
+            sim,
+            capacity=1,
+            name=f"nic[h{host_id}]" if debug else "nic",
+            leak_check=True,
         )
         #: Set while the host is crashed; its devices are down with it.
         self.failed = False
         #: In-flight prep work processes, interrupted on crash.
-        self._prep_procs: set[Process] = set()
+        #: Insertion-ordered (dict-as-set): crash interrupts walk these
+        #: in spawn order — a hash set would iterate by object address
+        #: and make the failure schedule nondeterministic.
+        self._prep_procs: dict[Process, None] = {}
         #: In-flight event-chain preps (:meth:`prep_request`), aborted
-        #: on crash.
-        self._live_preps: set[_PrepState] = set()
+        #: on crash.  Same ordering argument as ``_prep_procs``.
+        self._live_preps: dict[_PrepState, None] = {}
         self.preps_aborted = 0
         #: Crash observers (the transport layer fails in-flight messages
         #: routed through this host's NIC on crash).
@@ -141,8 +152,8 @@ class Host:
             self._guarded_cpu_work(work_us),
             name=name or (f"prep@{self.name}" if self.sim.debug_names else ""),
         )
-        self._prep_procs.add(proc)
-        proc.add_callback(lambda ev: self._prep_procs.discard(proc))
+        self._prep_procs[proc] = None
+        proc.add_callback(lambda ev: self._prep_procs.pop(proc, None))
         return proc
 
     def _guarded_cpu_work(self, work_us: float) -> Generator:
@@ -166,8 +177,10 @@ class Host:
             done.fail(HostFailure(self.host_id, "prep on crashed host"))
             return done
         state = _PrepState(self, done, work_us)
-        self._live_preps.add(state)
-        if self.cpu.try_acquire():
+        self._live_preps[state] = None
+        # Slot ownership transfers to the _PrepState, which releases it
+        # in on_done/abort on every path.
+        if self.cpu.try_acquire():  # repro: noqa[RPR005]
             # Uncontended CPU: go straight to the hold phase.
             state.holding = True
             if work_us > 0:
@@ -175,11 +188,14 @@ class Host:
             else:
                 state.on_done(done)
         else:
-            self.cpu.request().add_callback(state.on_grant)
+            # Same ownership transfer on the contended path: on_grant
+            # either starts the hold or hands the slot straight back if
+            # the prep was aborted meanwhile.
+            self.cpu.request().add_callback(state.on_grant)  # repro: noqa[RPR005]
         return done
 
     def _finish_prep(self, state: "_PrepState") -> None:
-        self._live_preps.discard(state)
+        self._live_preps.pop(state, None)
 
     def enqueue_kernel(self, device: Device, kernel: Kernel) -> Generator:
         """Dispatch one kernel over PCIe: CPU launch work + PCIe latency.

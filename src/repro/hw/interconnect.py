@@ -80,5 +80,10 @@ class ICI:
             self.sim,
             participants,
             self.allreduce_time_us(participants, nbytes),
-            name=name or f"allreduce[{participants}x{nbytes}B]",
+            name=name
+            or (
+                f"allreduce[{participants}x{nbytes}B]"
+                if self.sim.debug_names
+                else ""
+            ),
         )

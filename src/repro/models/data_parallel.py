@@ -157,10 +157,14 @@ class DataParallelTrainer:
         start = sim.now
         for _ in range(n_steps):
             transfers_done = [
-                sim.event(name=f"grads{i}") for i in range(len(self.islands))
+                sim.event(name=lambda i=i: f"grads{i}")
+                for i in range(len(self.islands))
             ]
             procs = [
-                sim.process(self._island_step(i, transfers_done), name=f"dp_step{i}")
+                sim.process(
+                    self._island_step(i, transfers_done),
+                    name=lambda i=i: f"dp_step{i}",
+                )
                 for i in range(len(self.islands))
             ]
             sim.run_until_triggered(sim.all_of(procs))
@@ -392,7 +396,9 @@ class ElasticDataParallelTrainer:
     # -- driving -------------------------------------------------------------
     def run(self, n_steps: int) -> ElasticRunResult:
         """Train ``n_steps`` steps, driving the simulator to completion."""
-        proc = self.sim.process(self.train(n_steps), name=f"{self.name}:driver")
+        proc = self.sim.process(
+            self.train(n_steps), name=lambda: f"{self.name}:driver"
+        )
         self.sim.run_until_triggered(proc)
         return self.result(n_steps)
 
@@ -484,7 +490,7 @@ class ElasticDataParallelTrainer:
     def _wait_for_capacity(self) -> Generator:
         if self.pending_grow:
             return
-        self._wakeup = self.sim.event(name=f"{self.name}:wakeup")
+        self._wakeup = self.sim.event(name=lambda: f"{self.name}:wakeup")
         yield self._wakeup
         self._wakeup = None
 
@@ -493,11 +499,18 @@ class ElasticDataParallelTrainer:
         sim = self.sim
         reps = list(self.replicas)
         k = len(reps)
-        outs = [sim.event(name=f"{self.name}:grads{i}") for i in range(k)]
+        outs = [
+            sim.event(name=lambda i=i: f"{self.name}:grads{i}") for i in range(k)
+        ]
         procs = [
             sim.process(
                 self._replica_step(i, reps, outs),
-                name=f"{self.name}:s{self.steps_done}@i{reps[i].island_id}",
+                # Mutable parts (step counter, binding) are frozen via
+                # lambda defaults so the lazy name resolves to what was
+                # true at spawn time.
+                name=lambda s=self.steps_done, isl=reps[i].island_id: (
+                    f"{self.name}:s{s}@i{isl}"
+                ),
             )
             for i in range(k)
         ]
@@ -584,7 +597,7 @@ class ElasticDataParallelTrainer:
                 self.sim,
                 participants=len(devices),
                 duration_us=0.0,
-                name=f"{self.name}:{tag}",
+                name=f"{self.name}:{tag}" if self.sim.debug_names else "",
             )
         kernels = []
         for device in devices:

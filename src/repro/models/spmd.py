@@ -123,7 +123,7 @@ class SpmdTrainer:
         start = system.sim.now
         driver = system.sim.process(
             client.drive_pipelined(program, args=(0.0,), n_iters=n_steps),
-            name=f"train:{self.model.name}",
+            name=lambda: f"train:{self.model.name}",
         )
         system.sim.run_until_triggered(driver)
         elapsed_us = system.sim.now - start

@@ -294,6 +294,8 @@ class Fabric:
         self._flows: dict = {}
         self._flow_gen = 0
         self._last_advance = 0.0
+        if sim.sanitize and sim.sanitizer is not None:
+            sim.sanitizer.watch(self)
 
     # -- link accessors ----------------------------------------------------
     def nic_tx(self, host: "Host") -> Link:
@@ -469,6 +471,35 @@ class Fabric:
 
     def busy_links(self) -> list[Link]:
         return [link for link in self.links() if not link.idle]
+
+    def _sanitizer_problems(self) -> list[tuple[str, str]]:
+        """Drain-end capacity invariant: every flow gone, every link idle.
+
+        A residual here is the network slot-leak — an abort path that
+        failed to hand back a flow's share of link capacity.
+        """
+        problems: list[tuple[str, str]] = []
+        if self._flows:
+            keys = ", ".join(repr(getattr(k, "name", k)) for k in self._flows)
+            problems.append(
+                (
+                    "capacity",
+                    f"fabric drained with {len(self._flows)} live fluid "
+                    f"flow(s): {keys}",
+                )
+            )
+        stuck = self.busy_links()
+        if stuck:
+            names = ", ".join(link.name for link in stuck[:8])
+            more = "" if len(stuck) <= 8 else f" (+{len(stuck) - 8} more)"
+            problems.append(
+                (
+                    "capacity",
+                    f"{len(stuck)} fabric link(s) not idle at drain end: "
+                    f"{names}{more}",
+                )
+            )
+        return problems
 
     def utilization(self, window_us: Optional[float] = None) -> dict[str, float]:
         """Per-link busy fraction over the trailing sliding window.

@@ -238,6 +238,30 @@ class Transport:
         #: Hosts whose crash listener is installed.
         self._watched: set[int] = set()
         self._loss_listeners: list[Callable[[Message, BaseException], None]] = []
+        if sim.sanitize and sim.sanitizer is not None:
+            sim.sanitizer.watch(self)
+
+    def _sanitizer_problems(self) -> list[tuple[str, str]]:
+        """Drain-end invariant: no message may end neither delivered nor
+        failed — an undelivered survivor is a sender that will wait
+        forever (the transport-level lost wakeup)."""
+        stranded = [
+            msg
+            for tracked in self._in_flight.values()
+            for msg in tracked
+            if not msg.triggered
+        ]
+        if not stranded:
+            return []
+        names = ", ".join(m.name for m in stranded[:8])
+        more = "" if len(stranded) <= 8 else f" (+{len(stranded) - 8} more)"
+        return [
+            (
+                "waiters",
+                f"transport drained with {len(stranded)} in-flight "
+                f"message(s) neither delivered nor failed: {names}{more}",
+            )
+        ]
 
     # -- mode & cost model -------------------------------------------------
     @property
@@ -425,7 +449,12 @@ class Transport:
             self.sim,
             participants,
             duration_us=0.0,
-            name=name or f"net_collective[{len(hosts)}hx{nbytes_per_host}B]",
+            name=name
+            or (
+                f"net_collective[{len(hosts)}hx{nbytes_per_host}B]"
+                if self.sim.debug_names
+                else ""
+            ),
             compute_us=compute_us,
             wire_fn=lambda: self._collective_wire(hosts, nbytes_per_host),
         )

@@ -128,7 +128,9 @@ class BatchingDcnChannel:
 
     def send(self, dst: Host, nbytes: int = 256) -> Event:
         """Queue a message; returns its arrival event."""
-        arrival = self.sim.event(name=f"batched:{self.src.name}->{dst.name}")
+        arrival = self.sim.event(
+            name=lambda: f"batched:{self.src.name}->{dst.name}"
+        )
         self.logical_messages += 1
         window = self.config.dcn_batch_window_us
         if window <= 0 or dst is self.src:
@@ -141,7 +143,9 @@ class BatchingDcnChannel:
         if key not in self._pending:
             self._pending[key] = [(nbytes, arrival)]
             self._dst_hosts[key] = dst
-            self.sim.process(self._flush_later(key), name=f"dcnbatch:{key}")
+            self.sim.process(
+                self._flush_later(key), name=lambda: f"dcnbatch:{key}"
+            )
         else:
             self._pending[key].append((nbytes, arrival))
         return arrival

@@ -41,7 +41,8 @@ class ProgressTracker:
         ]
         self._delivered: list[int] = [0] * n_dst_shards
         self._complete_events: list[Event] = [
-            sim.event(name=f"{self.name}:shard{i}_complete") for i in range(n_dst_shards)
+            sim.event(name=lambda i=i: f"{self.name}:shard{i}_complete")
+            for i in range(n_dst_shards)
         ]
 
     def _check_shard(self, shard: int) -> None:

@@ -126,7 +126,7 @@ class ElasticController:
         self.drains_started += 1
         island = self.system.cluster.islands[island_id]
         scheduler = self.system.scheduler_for(island)
-        handback = self.sim.event(name=f"handback:{island_id}")
+        handback = self.sim.event(name=lambda: f"handback:{island_id}")
         self._draining[island_id] = handback
         if rm.bound_slices_on(island_id) and not self.workloads:
             warnings.warn(

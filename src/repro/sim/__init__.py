@@ -26,21 +26,39 @@ from repro.sim.engine import (
     Timeout,
 )
 from repro.sim.resources import Resource, Store
+from repro.sim.sanitize import (
+    DoubleTriggerError,
+    LeakedCapacityError,
+    PendingTimeoutReadError,
+    SanitizerError,
+    SimSanitizer,
+    UnbalancedGrantError,
+    UnsettledWaitersError,
+    sanitize_from_env,
+)
 
 __all__ = [
     "AllOf",
     "AnyOf",
     "CalendarTimerQueue",
     "DeadlockError",
+    "DoubleTriggerError",
     "Event",
     "HeapTimerQueue",
     "Interrupt",
+    "LeakedCapacityError",
+    "PendingTimeoutReadError",
     "Process",
     "ProcessFailed",
     "Resource",
+    "SanitizerError",
     "Settled",
+    "SimSanitizer",
     "Simulator",
     "Store",
     "Ticker",
     "Timeout",
+    "UnbalancedGrantError",
+    "UnsettledWaitersError",
+    "sanitize_from_env",
 ]

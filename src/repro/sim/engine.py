@@ -27,14 +27,23 @@ import os
 from collections import deque
 from typing import Any, Callable, Generator, Iterable, Optional, Union
 
+from repro.sim.sanitize import (
+    DoubleTriggerError,
+    PendingTimeoutReadError,
+    SimSanitizer,
+    sanitize_from_env,
+)
+
 __all__ = [
     "AllOf",
     "AnyOf",
     "CalendarTimerQueue",
     "DeadlockError",
+    "DoubleTriggerError",
     "Event",
     "HeapTimerQueue",
     "Interrupt",
+    "PendingTimeoutReadError",
     "Process",
     "ProcessFailed",
     "Settled",
@@ -134,14 +143,14 @@ class Event:
     # -- triggering ----------------------------------------------------
     def succeed(self, value: Any = None) -> "Event":
         if self._value is not _PENDING or self._exc is not None:
-            raise RuntimeError(f"event {self.name!r} already triggered")
+            raise DoubleTriggerError(f"event {self.name!r} already triggered")
         self._value = value
         self.sim._immediate.append(self)
         return self
 
     def fail(self, exc: BaseException) -> "Event":
         if self._value is not _PENDING or self._exc is not None:
-            raise RuntimeError(f"event {self.name!r} already triggered")
+            raise DoubleTriggerError(f"event {self.name!r} already triggered")
         self._exc = exc
         self.sim._immediate.append(self)
         return self
@@ -157,7 +166,7 @@ class Event:
         processed (late callbacks run inline).
         """
         if self._value is not _PENDING or self._exc is not None:
-            raise RuntimeError(f"event {self.name!r} already triggered")
+            raise DoubleTriggerError(f"event {self.name!r} already triggered")
         self._value = value
         callbacks, self.callbacks = self.callbacks, None
         if callbacks:
@@ -181,7 +190,14 @@ class Event:
                 fn(self)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
-        state = "triggered" if self.triggered else "pending"
+        # Computed from the raw slots, not the ``triggered`` property:
+        # pre-fire Timeouts raise on that read under sanitize mode, and
+        # a repr must never raise.
+        state = (
+            "triggered"
+            if (self._value is not _PENDING or self._exc is not None)
+            else "pending"
+        )
         return f"<Event {self.name!r} {state}>"
 
 
@@ -204,6 +220,22 @@ class Timeout(Event):
     @property
     def name(self) -> str:
         return self._name or f"timeout({self.delay:g})"
+
+    @property
+    def triggered(self) -> bool:
+        """Guarded: a Timeout is pre-valued, so the base property is
+        ``True`` from construction — *before* the delay elapses.  Code
+        asking "has it fired?" through this read is wrong (RPR004);
+        under sanitize mode the read raises instead of misleading.
+        """
+        if self.callbacks is not None and self.sim.sanitize:
+            # Callbacks unconsumed == not yet processed by the loop.
+            raise PendingTimeoutReadError(
+                f"read of .triggered on {self.name!r} before it fired: "
+                "Timeouts are pre-valued, so this is always True — "
+                "compare sim.now against the arming time instead"
+            )
+        return self._value is not _PENDING or self._exc is not None
 
 
 class Ticker(Event):
@@ -462,7 +494,7 @@ class Process(Event):
         #: True once the generator has been driven (or pre-empted by an
         #: interrupt/cancel before its first step).
         self._started = False
-        sim._live_processes.add(self)
+        sim._live_processes[self] = None
         # Bootstrap: start the generator at the current simulation moment
         # (no intermediate init event; the loop entry calls _step).
         sim._immediate.append(_Bootstrap(self))
@@ -516,7 +548,7 @@ class Process(Event):
         self._detach()
         self._started = True
         self.generator.close()
-        self.sim._live_processes.discard(self)
+        self.sim._live_processes.pop(self, None)
         self.cancelled = True
         self.succeed(value)
 
@@ -542,17 +574,17 @@ class Process(Event):
             else:
                 target = self.generator.send(value)
         except StopIteration as stop:
-            self.sim._live_processes.discard(self)
+            self.sim._live_processes.pop(self, None)
             self.succeed(stop.value)
             return
         except BaseException as exc:  # noqa: BLE001 - report with provenance
-            self.sim._live_processes.discard(self)
+            self.sim._live_processes.pop(self, None)
             self.fail(ProcessFailed(self, exc))
             return
         if not isinstance(target, Event):
             exc = TypeError(f"process {self.name!r} yielded non-event: {target!r}")
             self.generator.close()
-            self.sim._live_processes.discard(self)
+            self.sim._live_processes.pop(self, None)
             self.fail(ProcessFailed(self, exc))
             return
         self._waiting_on = target
@@ -915,8 +947,17 @@ class Simulator:
         debug_names: bool = False,
         log_schedule: bool = False,
         timer_queue: Optional[str] = None,
+        sanitize: Optional[bool] = None,
     ) -> None:
         self._now: float = 0.0
+        if sanitize is None:
+            sanitize = sanitize_from_env()
+        #: Runtime invariant checking (see :mod:`repro.sim.sanitize`).
+        #: Schedule-neutral: golden schedules are byte-identical on/off.
+        self.sanitize = bool(sanitize)
+        self.sanitizer: Optional[SimSanitizer] = (
+            SimSanitizer() if self.sanitize else None
+        )
         if timer_queue is None:
             timer_queue = os.environ.get("REPRO_SIM_TIMER_QUEUE", "calendar")
         try:
@@ -931,7 +972,10 @@ class Simulator:
         self._queue = queue_cls()
         self._immediate: deque = deque()
         self._seq = 0
-        self._live_processes: set[Process] = set()
+        # Insertion-ordered (dict-as-set): deadlock reports and the
+        # drain-end stuck scan walk processes in spawn order — a hash
+        # set would iterate by object address (RPR002).
+        self._live_processes: dict[Process, None] = {}
         #: Components check this before building f-string event names.
         self.debug_names = debug_names
         #: (now, delay) -> Timeout coalescing cache (see shared_timeout).
@@ -1130,7 +1174,7 @@ class Simulator:
                     raise DeadlockError(
                         f"event {waited.name!r} can never trigger: queue drained "
                         f"at t={self._now:.3f}us",
-                        self._live_processes,
+                        list(self._live_processes),
                     )
                 processed += 1
                 if log is not None:
@@ -1165,6 +1209,11 @@ class Simulator:
                 f"{len(blocked)} blocked process(es): {names}{more}",
                 blocked,
             )
+        if self.sanitizer is not None:
+            # Natural drain: every instrumented resource/fabric must be
+            # quiescent — no stranded waiters, held slots, or link
+            # capacity.  Raises a typed SanitizerError naming the leak.
+            self.sanitizer.check_drained(self)
         return self._now
 
     def run_until_triggered(self, event: Event, limit: Optional[float] = None) -> Any:

@@ -15,6 +15,7 @@ from collections import deque
 from typing import Any, Deque, Generator, Optional
 
 from repro.sim.engine import Event, Simulator
+from repro.sim.sanitize import UnbalancedGrantError
 
 __all__ = ["Resource", "Store"]
 
@@ -30,17 +31,31 @@ class Resource:
             yield from cpu.using(sim, work_us=10.0)
     """
 
-    def __init__(self, sim: Simulator, capacity: int = 1, name: str = ""):
+    def __init__(
+        self,
+        sim: Simulator,
+        capacity: int = 1,
+        name: str = "",
+        leak_check: bool = False,
+    ):
         if capacity < 1:
             raise ValueError(f"capacity must be >= 1, got {capacity}")
         self.sim = sim
         self.capacity = capacity
         self.name = name or "resource"
+        #: Leak-checked resources (host CPUs, NIC slots) must be fully
+        #: released at natural drain end; the sim-sanitizer raises
+        #: UnbalancedGrantError for any slot still held.  Resources that
+        #: legitimately stay held across a run end (long-lived pools)
+        #: leave this False — only stranded *waiters* are flagged then.
+        self.leak_check = leak_check
         self._in_use = 0
         self._waiters: Deque[Event] = deque()
         #: Cumulative busy time integral, for utilization reporting.
         self._busy_accum = 0.0
         self._last_change = 0.0
+        if sim.sanitize and sim.sanitizer is not None:
+            sim.sanitizer.watch(self)
 
     @property
     def in_use(self) -> int:
@@ -106,7 +121,9 @@ class Resource:
 
     def release(self) -> None:
         if self._in_use <= 0:
-            raise RuntimeError(f"release of idle resource {self.name!r}")
+            raise UnbalancedGrantError(
+                f"release of idle resource {self.name!r}"
+            )
         self._account()
         if self._waiters:
             # Hand the slot directly to the next waiter: in_use unchanged.
@@ -114,6 +131,28 @@ class Resource:
             ev.succeed(self)
         else:
             self._in_use -= 1
+
+    def _sanitizer_problems(self) -> list[tuple[str, str]]:
+        """Drain-end invariants for the sim-sanitizer sweep."""
+        problems: list[tuple[str, str]] = []
+        pending = sum(1 for ev in self._waiters if not ev.triggered)
+        if pending:
+            problems.append(
+                (
+                    "waiters",
+                    f"resource {self.name!r} drained with {pending} "
+                    "waiter(s) never granted or failed (lost wakeup)",
+                )
+            )
+        if self.leak_check and self._in_use > 0:
+            problems.append(
+                (
+                    "grants",
+                    f"resource {self.name!r} drained with {self._in_use} "
+                    "slot(s) still held (acquire without release)",
+                )
+            )
+        return problems
 
     def using(self, sim: Simulator, work_us: float) -> Generator:
         """Acquire, hold for ``work_us``, release.  ``yield from`` this."""

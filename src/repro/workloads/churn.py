@@ -277,7 +277,7 @@ def run_churn(
                     ckpt,
                     stats[name],
                 ),
-                name=f"driver:{name}",
+                name=lambda n=name: f"driver:{n}",
             )
         )
 

@@ -106,7 +106,9 @@ def run_pathways_multitenant(
             driver_gen = client.drive_op_by_op(
                 step.solo_program, (0.0,), n_iters=n_iters
             )
-        drivers.append(system.sim.process(driver_gen, name=f"driver:{name}"))
+        drivers.append(
+            system.sim.process(driver_gen, name=lambda n=name: f"driver:{n}")
+        )
     start = system.sim.now
     system.sim.run_until_triggered(system.sim.all_of(drivers))
     elapsed_us = system.sim.now - start
@@ -162,7 +164,12 @@ def run_jax_multitenant(
             kernel = Kernel(
                 sim,
                 duration_us=compute_time_us,
-                collective=CollectiveRendezvous(sim, 1, coll_us, name=f"ar:{name}"),
+                collective=CollectiveRendezvous(
+                    sim,
+                    1,
+                    coll_us,
+                    name=f"ar:{name}" if sim.debug_names else "",
+                ),
                 tag="step",
                 program=name,
             )
@@ -176,7 +183,7 @@ def run_jax_multitenant(
         completed[name] = done
 
     drivers = [
-        sim.process(client_loop(f"client{c}"), name=f"jax:client{c}")
+        sim.process(client_loop(f"client{c}"), name=lambda c=c: f"jax:client{c}")
         for c in range(n_clients)
     ]
     start = sim.now

@@ -1,0 +1,8 @@
+"""RPR001 fixture: eager event names on the hot path (3 hits)."""
+
+
+def spawn(sim, work, i):
+    ev = sim.event(name=f"grads{i}")
+    proc = sim.process(work, f"step{i}")
+    tick = sim.completed(None, name="tick {}".format(i))
+    return ev, proc, tick

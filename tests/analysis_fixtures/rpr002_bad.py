@@ -1,0 +1,16 @@
+"""RPR002 fixture: hash-set order reaching the schedule (3 hits)."""
+
+
+class Registry:
+    def __init__(self):
+        self._live = set()
+
+    def crash_all(self, cause):
+        for proc in list(self._live):  # set order: varies run to run
+            proc.interrupt(cause)
+
+    def snapshot(self):
+        return [p.name for p in self._live]  # comprehension over the set
+
+    def by_address(self, procs):
+        return sorted(procs, key=id)  # id() differs between runs

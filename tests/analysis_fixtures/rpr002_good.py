@@ -1,0 +1,19 @@
+"""RPR002 fixture: order-safe spellings of the same code (0 hits)."""
+
+
+class Registry:
+    def __init__(self):
+        # Insertion-ordered dict-as-set: deterministic iteration.
+        self._live = {}
+
+    def crash_all(self, cause):
+        for proc in list(self._live):
+            proc.interrupt(cause)
+
+    def snapshot(self):
+        members = set(self._live)
+        # Order-insensitive consumers of a set are fine.
+        return len(members), sorted(p.name for p in self._live)
+
+    def by_name(self, procs):
+        return sorted(procs, key=lambda p: p.name)

@@ -1,0 +1,15 @@
+"""RPR003 fixture: wall clock + global randomness in sim code (4 hits)."""
+
+import random
+import time
+from datetime import datetime
+
+import numpy as np
+
+
+def jittered_delay(base_us):
+    started = time.time()
+    stamp = datetime.now()
+    noise = random.random()
+    scale = np.random.rand()
+    return base_us + noise * scale, started, stamp

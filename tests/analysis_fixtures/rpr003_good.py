@@ -1,0 +1,10 @@
+"""RPR003 fixture: pure-function-of-seed randomness and sim time (0 hits)."""
+
+import numpy as np
+
+
+def jittered_delay(sim, base_us, seed):
+    rng = np.random.default_rng(seed)
+    started = sim.now  # simulated time, not the host's
+    noise = rng.random()
+    return base_us + noise, started

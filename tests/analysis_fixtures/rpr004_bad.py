@@ -1,0 +1,8 @@
+"""RPR004 fixture: .triggered on pre-valued Timeouts (2 hits)."""
+
+
+def window_elapsed(sim, window):
+    t = sim.timeout(window)
+    if t.triggered:  # always True: Timeouts are pre-valued
+        return True
+    return sim.shared_timeout(window).triggered  # same bug, inline

@@ -1,0 +1,15 @@
+"""RPR004 fixture: asking "has the window closed?" correctly (0 hits)."""
+
+
+def window_elapsed(sim, armed_at, window):
+    # Compare simulated time against the arming time...
+    if sim.now - armed_at >= window:
+        return True
+    # ...or wait on the timeout; reading .triggered on a *plain* event
+    # someone else settles is fine.
+    done = sim.event()
+    return done.triggered
+
+
+def wait_window(sim, window):
+    yield sim.timeout(window)

@@ -1,0 +1,12 @@
+"""RPR005 fixture: acquires that can leak the slot (2 hits)."""
+
+
+def leak_on_success(cpu, work):
+    if cpu.try_acquire():  # never released anywhere in this function
+        work()
+
+
+def leak_on_exception(sim, cpu, work_us):
+    yield cpu.request()
+    yield sim.timeout(work_us)
+    cpu.release()  # happy path only: an interrupt above leaks the slot

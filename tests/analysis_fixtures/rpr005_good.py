@@ -1,0 +1,27 @@
+"""RPR005 fixture: release guaranteed on every path (0 hits)."""
+
+
+def hold(sim, cpu, work_us):
+    yield cpu.request()
+    try:
+        yield sim.timeout(work_us)
+    finally:
+        cpu.release()
+
+
+class _PrepState:
+    """Ownership-transfer pattern: the class defines abort(), so its
+    methods may acquire without an inline release."""
+
+    def __init__(self, cpu):
+        self.cpu = cpu
+        self.holding = False
+
+    def start(self):
+        if self.cpu.try_acquire():
+            self.holding = True
+
+    def abort(self, cause):
+        if self.holding:
+            self.holding = False
+            self.cpu.release()

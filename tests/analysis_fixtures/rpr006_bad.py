@@ -1,0 +1,14 @@
+"""RPR006 fixture: stats() that break the snapshot protocol (2 hits)."""
+
+
+class Transport:
+    def __init__(self):
+        self.sent = 0
+
+    def stats(self):
+        return {"sent": self.sent}  # live dict, not a frozen snapshot
+
+
+class Scheduler:
+    def stats(self):
+        print("no snapshot here")  # falls off the end: returns None

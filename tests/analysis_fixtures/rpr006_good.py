@@ -1,0 +1,22 @@
+"""RPR006 fixture: stats() returning frozen *Stats snapshots (0 hits)."""
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class TransportStats:
+    sent: int
+
+
+class Transport:
+    def __init__(self):
+        self.sent = 0
+
+    def stats(self):
+        return TransportStats(sent=self.sent)
+
+
+class Scheduler:
+    def stats(self):
+        snap = TransportStats(sent=0)
+        return snap

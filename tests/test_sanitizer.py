@@ -1,0 +1,230 @@
+"""The runtime sim-sanitizer: typed errors, leak injection, neutrality.
+
+Each test injects one invariant violation the static rules cannot see
+(leaks on dynamic paths) and asserts the drain-end sweep raises the
+matching typed error.  The final class proves the sanitizer is
+schedule-neutral: the golden churn schedule is identical with it on and
+off.
+"""
+
+from __future__ import annotations
+
+import re
+from types import SimpleNamespace
+
+import pytest
+
+from repro.config import SystemConfig
+from repro.net.fabric import Fabric
+from repro.net.transport import Transport
+from repro.sim import (
+    DoubleTriggerError,
+    LeakedCapacityError,
+    PendingTimeoutReadError,
+    Resource,
+    SanitizerError,
+    Simulator,
+    UnbalancedGrantError,
+    UnsettledWaitersError,
+    sanitize_from_env,
+)
+from repro.workloads.churn import run_churn
+
+
+class TestFlagPlumbing:
+    def test_default_off(self, monkeypatch):
+        monkeypatch.delenv("REPRO_SIM_SANITIZE", raising=False)
+        sim = Simulator()
+        assert sim.sanitize is False
+        assert sim.sanitizer is None
+
+    def test_explicit_on(self):
+        sim = Simulator(sanitize=True)
+        assert sim.sanitize is True
+        assert sim.sanitizer is not None
+
+    @pytest.mark.parametrize(
+        "value,expected",
+        [("1", True), ("true", True), ("ON", True), ("0", False), ("", False)],
+    )
+    def test_env_var(self, monkeypatch, value, expected):
+        monkeypatch.setenv("REPRO_SIM_SANITIZE", value)
+        assert sanitize_from_env() is expected
+        assert Simulator().sanitize is expected
+
+    def test_explicit_overrides_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SIM_SANITIZE", "1")
+        assert Simulator(sanitize=False).sanitize is False
+
+    def test_typed_errors_are_runtime_errors(self):
+        """Back-compat: code catching the old untyped raises keeps working."""
+        for cls in (
+            DoubleTriggerError,
+            PendingTimeoutReadError,
+            UnsettledWaitersError,
+            UnbalancedGrantError,
+            LeakedCapacityError,
+        ):
+            assert issubclass(cls, SanitizerError)
+            assert issubclass(cls, RuntimeError)
+
+
+class TestDoubleTrigger:
+    def test_double_succeed(self):
+        sim = Simulator()
+        ev = sim.event(name="once")
+        ev.succeed(1)
+        with pytest.raises(DoubleTriggerError, match="already triggered"):
+            ev.succeed(2)
+
+    def test_succeed_then_fail(self):
+        sim = Simulator()
+        ev = sim.event()
+        ev.succeed(None)
+        with pytest.raises(DoubleTriggerError):
+            ev.fail(RuntimeError("late"))
+
+
+class TestTimeoutTriggeredGuard:
+    def test_read_before_firing_raises_under_sanitize(self):
+        sim = Simulator(sanitize=True)
+        t = sim.timeout(5.0)
+        with pytest.raises(PendingTimeoutReadError, match="before it fired"):
+            t.triggered  # repro: noqa[RPR004] the bug under test
+
+    def test_read_after_firing_is_fine(self):
+        sim = Simulator(sanitize=True)
+        t = sim.timeout(5.0)
+        sim.run()
+        assert t.triggered is True  # repro: noqa[RPR004] fired above
+
+    def test_unsanitized_keeps_prevalued_semantics(self):
+        """Without sanitize the historical (footgun) behavior stands —
+        the static rule RPR004 is the only guard then."""
+        sim = Simulator(sanitize=False)
+        t = sim.timeout(5.0)
+        assert t.triggered is True  # repro: noqa[RPR004] the footgun itself
+
+    def test_repr_never_raises(self):
+        """repr reads state from raw slots, never through the guard."""
+        sim = Simulator(sanitize=True)
+        assert "timeout" in repr(sim.timeout(5.0))
+
+
+class TestResourceInvariants:
+    def test_leaked_grant_detected(self):
+        sim = Simulator(sanitize=True)
+        nic = Resource(sim, capacity=1, name="nic", leak_check=True)
+        assert nic.try_acquire()
+        with pytest.raises(UnbalancedGrantError, match="nic"):
+            sim.run()
+
+    def test_held_slot_allowed_without_leak_check(self):
+        """Long-lived pools may stay held across a drain; only
+        leak-checked resources are grant-audited."""
+        sim = Simulator(sanitize=True)
+        pool = Resource(sim, capacity=2, name="pool")
+        assert pool.try_acquire()
+        sim.run()
+
+    def test_stranded_waiter_detected(self):
+        sim = Simulator(sanitize=True)
+        pool = Resource(sim, capacity=1, name="pool")
+        assert pool.try_acquire()
+        pool.request()  # queued forever: the holder never releases
+        with pytest.raises(UnsettledWaitersError, match="lost wakeup"):
+            sim.run()
+
+    def test_release_of_idle_is_typed(self):
+        sim = Simulator()
+        with pytest.raises(UnbalancedGrantError, match="idle"):
+            Resource(sim, name="cpu").release()
+
+    def test_balanced_run_is_clean(self):
+        sim = Simulator(sanitize=True)
+        cpu = Resource(sim, capacity=1, name="cpu", leak_check=True)
+
+        def worker():
+            yield from cpu.using(sim, 10.0)
+
+        sim.process(worker())
+        sim.process(worker())
+        sim.run()
+        assert sim.now == 20.0
+        assert sim.sanitizer.sweeps == 1
+
+    def test_run_until_skips_drain_check(self):
+        """Cut short at ``until``, held slots are expected, not leaks."""
+        sim = Simulator(sanitize=True)
+        nic = Resource(sim, capacity=1, name="nic", leak_check=True)
+        assert nic.try_acquire()
+        sim.timeout(100.0)
+        assert sim.run(until=50.0) == 50.0
+
+
+class TestFabricAndTransportInvariants:
+    def test_leaked_link_capacity_detected(self):
+        sim = Simulator(sanitize=True)
+        fabric = Fabric(sim, SystemConfig())
+        link = fabric.nic_tx(SimpleNamespace(host_id=0))
+        link.fluid_enter()  # a flow's share never handed back
+        with pytest.raises(LeakedCapacityError, match="nic_tx"):
+            sim.run()
+
+    def test_idle_fabric_is_clean(self):
+        sim = Simulator(sanitize=True)
+        fabric = Fabric(sim, SystemConfig())
+        fabric.nic_tx(SimpleNamespace(host_id=0))
+        sim.run()
+        assert fabric.idle
+
+    def test_stranded_in_flight_message_detected(self):
+        sim = Simulator(sanitize=True)
+        transport = Transport(sim, SystemConfig())
+        class _Stuck:
+            triggered = False
+            name = "m0"
+
+        stuck = _Stuck()
+        transport._in_flight[0] = {stuck: None}
+        with pytest.raises(UnsettledWaitersError, match="m0"):
+            sim.run()
+
+
+class TestScheduleNeutrality:
+    KWARGS = dict(
+        n_clients=2,
+        steps_per_client=6,
+        compute_time_us=1_000.0,
+        slice_devices=4,
+        n_hosts=4,
+        devices_per_host=4,
+        mtbf_us=30_000.0,
+        repair_us=20_000.0,
+        checkpoint_interval_us=10_000.0,
+        state_bytes=1 << 20,
+        seed=11,
+    )
+
+    def _golden(self, monkeypatch, sanitize: bool):
+        monkeypatch.setenv("REPRO_SIM_SANITIZE", "1" if sanitize else "0")
+        result = run_churn(
+            debug_names=True, log_schedule=True, **self.KWARGS
+        )
+        sim = result.system_handle.sim
+        assert sim.sanitize is sanitize
+        return [
+            (t, seq, re.sub(r"#\d+", "#N", name))
+            for seq, (t, name) in enumerate(sim.schedule_log)
+        ]
+
+    def test_golden_schedule_identical_with_sanitize_on_and_off(
+        self, monkeypatch
+    ):
+        """The sanitizer never creates events or timers, so the golden
+        schedule is byte-identical either way — instrumentation that
+        perturbs the thing it watches would be useless."""
+        off = self._golden(monkeypatch, sanitize=False)
+        on = self._golden(monkeypatch, sanitize=True)
+        assert len(off) > 200
+        assert off == on
