@@ -23,7 +23,15 @@ sweep and shrinks the islands.
 from __future__ import annotations
 
 from repro.bench.harness import Table, full_asserts, smoke_mode, smoke_trim
+from repro.config import DEFAULT_CONFIG
 from repro.workloads.netload import run_net_congestion
+
+
+#: Narrow per-path spine under a wide uplink, so the spine tier is the
+#: bottleneck the ECMP sweep spreads (and a path failure perturbs).
+_ECMP_CONFIG = DEFAULT_CONFIG.with_overrides(
+    net_island_uplink_gbps=100.0, net_spine_gbps=8.0
+)
 
 
 def _scale():
@@ -139,6 +147,85 @@ def test_host_crash_mid_transfer_recovers_without_leaking_capacity():
     # ...probe programs replayed through retry_on_failure...
     assert r.probes_run == 4 and r.probe_failures == 0, r
     # ...and not a byte of link or NIC capacity leaked.
+    assert r.fabric_idle and r.nic_slots_leaked == 0, r
+
+
+def test_ecmp_goodput_scales_with_spine_paths():
+    """Cross-island goodput scales with the ECMP path count when the
+    spine tier is the bottleneck (per-flow hashing spreads the load)."""
+    scale = _scale()
+    path_counts = smoke_trim([1, 2, 4], keep=3)
+
+    table = Table(
+        "ECMP: cross-island goodput vs spine path count (spine-bound)",
+        columns=["spine paths", "achieved GB/s", "per-path GB/s", "fabric idle"],
+    )
+    results = {}
+    for k in path_counts:
+        r = run_net_congestion(
+            n_senders=4,
+            streams=2,
+            n_probes=0,
+            flow_bytes=8 << 20,
+            spine_paths=k,
+            config=_ECMP_CONFIG,
+            **scale,
+        )
+        results[k] = r
+        table.add_row(k, r.achieved_gbps, r.achieved_gbps / k, r.fabric_idle)
+    table.show()
+
+    spine_gbps = _ECMP_CONFIG.net_spine_gbps
+    for k, r in results.items():
+        # Per-path capacity bounds goodput; nothing lost or leaked.
+        assert r.achieved_gbps <= k * spine_gbps * 1.02, r
+        assert r.messages_lost == 0, r
+        assert r.fabric_idle and r.nic_slots_leaked == 0, r
+    # More paths, more goodput — the multipath point of ECMP.
+    assert results[2].achieved_gbps >= 1.5 * results[1].achieved_gbps
+    assert results[4].achieved_gbps >= 1.3 * results[2].achieved_gbps
+    if full_asserts():
+        # The single path itself saturates (the sweep is spine-bound).
+        assert results[1].achieved_gbps >= 0.9 * spine_gbps
+
+
+def test_spine_failure_rebalances_without_message_loss():
+    """A mid-run spine-path failure: surviving flows rehash onto the
+    remaining paths (no message whose endpoints are alive is lost) and
+    goodput recovers above the single-path floor once restored."""
+    scale = _scale()
+    r = run_net_congestion(
+        n_senders=4,
+        streams=2,
+        n_probes=0,
+        flow_bytes=8 << 20,
+        spine_paths=2,
+        link_down_at=scale["duration_us"] * 0.3,
+        link_repair_us=scale["duration_us"] * 0.3,
+        config=_ECMP_CONFIG,
+        **scale,
+    )
+
+    table = Table(
+        "Spine-link failure with ECMP: reroute, rebalance, restore",
+        columns=[
+            "goodput GB/s", "reroutes", "lost msgs", "parked",
+            "link faults", "fabric idle", "NIC slots leaked",
+        ],
+    )
+    table.add_row(
+        r.achieved_gbps, r.reroutes, r.messages_lost, r.messages_parked,
+        r.link_faults, r.fabric_idle, r.nic_slots_leaked,
+    )
+    table.show()
+
+    # The failure was delivered and flows crossing the dead path moved.
+    assert r.link_faults == 1 and r.reroutes > 0, r
+    # Zero loss: both endpoints stayed alive, so the fabric survived.
+    assert r.messages_lost == 0, r
+    # Rebalance recovered goodput above what one path alone sustains.
+    assert r.achieved_gbps > 1.1 * _ECMP_CONFIG.net_spine_gbps, r
+    # And the drill left no capacity behind.
     assert r.fabric_idle and r.nic_slots_leaked == 0, r
 
 

@@ -72,6 +72,9 @@ def _tasks() -> list[SweepTask]:
     # crash/retransmit cycle — the repro.net hot path — so network-layer
     # throughput regressions fail CI exactly like engine regressions.
     tasks.append(SweepTask("NET-C", 4, "repro.bench.targets:net_contention"))
+    # ECMP multipath point: spine-bound flows with a mid-run spine-link
+    # failure and restore — regression-gates the reroute/park hot path.
+    tasks.append(SweepTask("NET-E", 4, "repro.bench.targets:net_ecmp"))
     # Serving point: open-loop Poisson traffic through the repro.serve
     # stack (frontend admission, continuous batching, deadline-armed
     # gangs, a replica-loss recovery) over the contended fabric.
@@ -118,7 +121,7 @@ def test_sim_throughput():
         )
     # The Figure-5 dispatch sweep on its own (the headline ≥5× speedup
     # quantity) and the overall total including the scenario points.
-    scenario = ("CHURN-A", "NET-C", "SERVE", "FLEET-C")
+    scenario = ("CHURN-A", "NET-C", "NET-E", "SERVE", "FLEET-C")
     fig5 = [p for p in rec.points if p.series not in scenario]
     fig5_wall = sum(p.wall_s for p in fig5)
     fig5_events = sum(p.events for p in fig5)

@@ -106,6 +106,52 @@ def net_contention(
     }
 
 
+def net_ecmp(
+    n_senders: int = 4,
+    streams: int = 2,
+    hosts_per_island: int = 4,
+    devices_per_host: int = 4,
+    flow_bytes: int = 8 << 20,
+    duration_us: float = 40_000.0,
+    spine_paths: int = 4,
+    link_down_at: float = 12_000.0,
+    link_repair_us: float = 10_000.0,
+) -> dict:
+    """ECMP multipath point: spine-bound flows, mid-run spine-link
+    failure, reroute onto survivors, restore — the reroute hot path."""
+    from repro.config import DEFAULT_CONFIG
+    from repro.workloads.netload import run_net_congestion
+
+    # Narrow spine paths under a wide uplink so the spine is the
+    # bottleneck ECMP spreads (and the failure perturbs).
+    cfg = DEFAULT_CONFIG.with_overrides(
+        net_island_uplink_gbps=100.0, net_spine_gbps=8.0
+    )
+    r = run_net_congestion(
+        n_senders=n_senders,
+        streams=streams,
+        hosts_per_island=hosts_per_island,
+        devices_per_host=devices_per_host,
+        flow_bytes=flow_bytes,
+        duration_us=duration_us,
+        n_probes=0,
+        spine_paths=spine_paths,
+        link_down_at=link_down_at,
+        link_repair_us=link_repair_us,
+        config=cfg,
+    )
+    return {
+        "events": r.system_handle.sim.events_processed,
+        "sim_us": r.elapsed_us,
+        "checks": {
+            "no_message_loss": r.messages_lost == 0,
+            "rerouted": r.reroutes > 0,
+            "fabric_idle": r.fabric_idle,
+            "no_nic_leak": r.nic_slots_leaked == 0,
+        },
+    }
+
+
 def serving_slo(
     rate_rps: float = 600.0,
     duration_us: float = 120_000.0,

@@ -65,6 +65,20 @@ class SystemConfig:
     net_island_uplink_gbps: float = 50.0
     #: Spine (core) bandwidth; high enough that uplinks bottleneck first.
     net_spine_gbps: float = 400.0
+    #: Number of parallel spine links (ECMP multipath).  1 (default)
+    #: reproduces the historical single-spine fabric byte-identically;
+    #: k > 1 hashes each flow onto one of k equal-capacity spine paths
+    #: (``net_spine_gbps`` is *per path*) and a spine-link failure
+    #: reroutes surviving flows onto the remaining paths.
+    spine_paths: int = 1
+    #: Seed folded into the per-flow ECMP hash (CRC of src host, dst
+    #: host, flow seq) — never Python ``hash()``/``id()``, so path
+    #: choices are identical across runs and interpreters.
+    net_ecmp_seed: int = 0
+    #: How long a message with *no* surviving path (its island uplink or
+    #: every spine path down) waits parked for a link restore before it
+    #: is failed with ``MessageLost`` (0 = park forever).
+    net_park_deadline_us: float = 1_000_000.0
     #: Default in-flight message timeout (0 = no timeout).  Reliable
     #: sends retransmit after this long without a delivery.
     net_message_timeout_us: float = 0.0

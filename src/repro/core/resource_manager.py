@@ -142,7 +142,20 @@ class ResourceManager:
 
     # -- slice binding ----------------------------------------------------
     def _pick_island(self, n_devices: int) -> Island:
-        """Least-loaded non-draining island with *surviving* capacity."""
+        """Least-loaded non-draining island with *surviving* capacity.
+
+        Ranked by ``(uplink utilization, cursor, island id)``: the
+        congestion signal first — the same
+        :meth:`~repro.net.Fabric.uplink_utilization` feedback the
+        serving :meth:`~repro.serve.replicas.ReplicaSet.pick_island`
+        reads — so every slice bind (trainers included) lands on islands
+        with idle uplinks and a rerouted hotspot drains; the device
+        cursor keeps the historical round-robin spreading on a quiet
+        fabric (all utilizations 0.0); and the island id makes ties
+        explicitly deterministic regardless of registration-dict
+        history.  Utilization is rounded so float dust cannot flip the
+        deterministic tie-break.
+        """
         candidates = [
             isl for isl in self._islands.values()
             if isl.n_healthy >= n_devices and isl.island_id not in self._draining
@@ -153,7 +166,15 @@ class ResourceManager:
                 f"(largest has "
                 f"{max((i.n_healthy for i in self._islands.values()), default=0)} healthy)"
             )
-        return min(candidates, key=lambda isl: self._cursor.get(isl.island_id, 0))
+        fabric = self.cluster.fabric
+        return min(
+            candidates,
+            key=lambda isl: (
+                round(fabric.uplink_utilization(isl.island_id), 6),
+                self._cursor.get(isl.island_id, 0),
+                isl.island_id,
+            ),
+        )
 
     def bind_slice(self, vslice: VirtualSlice) -> DeviceGroup:
         """Assign physical devices to ``vslice`` and bind it.

@@ -1,13 +1,31 @@
-"""The routed DCN fabric: links, static routes, and contention.
+"""The routed DCN fabric: links, routes, multipath, and contention.
 
 The fabric models the datacenter network as a two-tier tree the way
 first-principles infrastructure simulators do (MLSYSIM): every host owns
 an egress (tx) and ingress (rx) NIC link, every island shares one uplink
-pair to the spine, and the spine connects islands.  Static routes are
+pair to the spine, and ``SystemConfig.spine_paths`` parallel spine links
+connect islands.  Routes are
 
 * intra-island: ``src NIC tx -> dst NIC rx``
-* cross-island: ``src NIC tx -> island uplink tx -> spine ->
+* cross-island: ``src NIC tx -> island uplink tx -> spine path ->
   island uplink rx -> dst NIC rx``
+
+With ``spine_paths == 1`` (the default) the single spine path makes
+routes static, reproducing the historical fabric byte-identically.  With
+``spine_paths > 1`` the spine path is chosen per flow by a *seeded CRC*
+of (src host, dst host, flow seq) — ECMP hash routing; deliberately not
+Python ``hash()`` or ``id()``, which vary across interpreters and runs —
+restricted to the paths currently up, so a spine-link failure rehashes
+onto the survivors and :meth:`Fabric.route` returns ``None`` only when
+*no* viable path exists (dead uplink, or every spine path down).
+
+Links can be taken down (:meth:`Fabric.take_down`) and restored
+(:meth:`Fabric.restore_link`): taking a link down evicts every flow
+crossing it with exact capacity release — the same abort machinery host
+crashes use — and hands the evicted flow keys back to the caller (the
+transport), which reroutes or parks them.  A downed link therefore holds
+zero capacity by construction and is exempt from the sanitizer's
+drain-end ``LeakedCapacityError`` sweep until restore.
 
 Two serialization disciplines are supported (``net_link_sharing``):
 
@@ -33,6 +51,8 @@ transparently.
 
 from __future__ import annotations
 
+import re
+import zlib
 from collections import deque
 from typing import Deque, Optional, TYPE_CHECKING
 
@@ -61,6 +81,9 @@ class Link:
     __slots__ = (
         "sim",
         "name",
+        "kind",
+        "up",
+        "faults",
         "bytes_per_us",
         "bytes_carried",
         "flows_completed",
@@ -81,11 +104,20 @@ class Link:
         bytes_per_us: float,
         name: str = "",
         util_window_us: float = 100_000.0,
+        kind: str = "link",
     ):
         if bytes_per_us <= 0:
             raise ValueError(f"link bandwidth must be positive, got {bytes_per_us}")
         self.sim = sim
         self.name = name or "link"
+        #: Topology tier: "nic" (an endpoint hop — its death loses the
+        #: messages endpointed there), "uplink", "spine", or "link".
+        self.kind = kind
+        #: False while the link is failed; a down link carries nothing
+        #: (take-down evicts all occupancy) and refuses new crossings.
+        self.up = True
+        #: Times this link has been taken down.
+        self.faults = 0
         self.bytes_per_us = bytes_per_us
         self.bytes_carried = 0
         self.flows_completed = 0
@@ -181,6 +213,8 @@ class Link:
         """Start one FIFO hop crossing; returns its completion event."""
         if nbytes < 0:
             raise ValueError(f"negative transfer: {nbytes}")
+        if not self.up:
+            raise RuntimeError(f"link {self.name} is down")
         debug = self.sim.debug_names
         ev = Event(self.sim, f"hop:{self.name}" if debug else "")
         if nbytes == 0:
@@ -239,7 +273,7 @@ class Link:
         self._sync_busy()
 
     def _start_next(self) -> None:
-        if self._active is None and self._queue:
+        if self._active is None and self._queue and self.up:
             self._start(self._queue.popleft())
 
     # -- fluid-flow membership (driven by Fabric) ---------------------------
@@ -285,11 +319,15 @@ class Fabric:
             raise ValueError(
                 f"net_link_sharing must be 'fair' or 'fifo', got {self.sharing!r}"
             )
+        if config.spine_paths < 1:
+            raise ValueError(
+                f"spine_paths must be >= 1, got {config.spine_paths}"
+            )
         self._nic_tx: dict[int, Link] = {}
         self._nic_rx: dict[int, Link] = {}
         self._uplink_tx: dict[int, Link] = {}
         self._uplink_rx: dict[int, Link] = {}
-        self._spine: Optional[Link] = None
+        self._spines: list[Link] = []
         # Fluid engine state.
         self._flows: dict = {}
         self._flow_gen = 0
@@ -298,27 +336,35 @@ class Fabric:
             sim.sanitizer.watch(self)
 
     # -- link accessors ----------------------------------------------------
-    def nic_tx(self, host: "Host") -> Link:
-        link = self._nic_tx.get(host.host_id)
+    def _nic_tx_link(self, host_id: int) -> Link:
+        link = self._nic_tx.get(host_id)
         if link is None:
-            link = self._nic_tx[host.host_id] = Link(
+            link = self._nic_tx[host_id] = Link(
                 self.sim,
                 self.config.dcn_bytes_per_us,
-                name=f"nic_tx[h{host.host_id}]",
+                name=f"nic_tx[h{host_id}]",
                 util_window_us=self.config.net_util_window_us,
+                kind="nic",
             )
         return link
 
-    def nic_rx(self, host: "Host") -> Link:
-        link = self._nic_rx.get(host.host_id)
+    def _nic_rx_link(self, host_id: int) -> Link:
+        link = self._nic_rx.get(host_id)
         if link is None:
-            link = self._nic_rx[host.host_id] = Link(
+            link = self._nic_rx[host_id] = Link(
                 self.sim,
                 self.config.net_rx_bytes_per_us,
-                name=f"nic_rx[h{host.host_id}]",
+                name=f"nic_rx[h{host_id}]",
                 util_window_us=self.config.net_util_window_us,
+                kind="nic",
             )
         return link
+
+    def nic_tx(self, host: "Host") -> Link:
+        return self._nic_tx_link(host.host_id)
+
+    def nic_rx(self, host: "Host") -> Link:
+        return self._nic_rx_link(host.host_id)
 
     def uplink_tx(self, island_id: int) -> Link:
         link = self._uplink_tx.get(island_id)
@@ -328,6 +374,7 @@ class Fabric:
                 self.config.net_island_uplink_bytes_per_us,
                 name=f"uplink_tx[i{island_id}]",
                 util_window_us=self.config.net_util_window_us,
+                kind="uplink",
             )
         return link
 
@@ -339,34 +386,76 @@ class Fabric:
                 self.config.net_island_uplink_bytes_per_us,
                 name=f"uplink_rx[i{island_id}]",
                 util_window_us=self.config.net_util_window_us,
+                kind="uplink",
             )
         return link
 
+    def spine_links(self) -> list[Link]:
+        """The k parallel spine paths (built lazily on first use)."""
+        if not self._spines:
+            k = self.config.spine_paths
+            self._spines = [
+                Link(
+                    self.sim,
+                    self.config.net_spine_bytes_per_us,
+                    # The single-path name stays "spine" so default-config
+                    # schedules, stats keys, and goldens are unchanged.
+                    name="spine" if k == 1 else f"spine[p{i}]",
+                    util_window_us=self.config.net_util_window_us,
+                    kind="spine",
+                )
+                for i in range(k)
+            ]
+        return self._spines
+
     @property
     def spine(self) -> Link:
-        if self._spine is None:
-            self._spine = Link(
-                self.sim,
-                self.config.net_spine_bytes_per_us,
-                name="spine",
-                util_window_us=self.config.net_util_window_us,
-            )
-        return self._spine
+        """Spine path 0 (the whole spine when ``spine_paths == 1``)."""
+        return self.spine_links()[0]
 
     # -- routing -----------------------------------------------------------
-    def route(self, src: "Host", dst: "Host") -> list[Link]:
-        """The static route for one message (loopback routes are empty)."""
+    def spine_path(self, src: "Host", dst: "Host", flow_seq: int) -> Optional[Link]:
+        """ECMP: hash one flow onto a surviving spine path (None if all
+        are down).  The hash is a seeded CRC of the flow identity —
+        stable across runs, interpreters, and ``debug_names`` — and is
+        taken over the *up* paths, so a failed path's flows rehash onto
+        the survivors while flows on healthy paths keep their path."""
+        spines = self.spine_links()
+        if len(spines) == 1:
+            return spines[0] if spines[0].up else None
+        up = [link for link in spines if link.up]
+        if not up:
+            return None
+        digest = zlib.crc32(
+            b"%d:%d:%d:%d"
+            % (self.config.net_ecmp_seed, src.host_id, dst.host_id, flow_seq)
+        )
+        return up[digest % len(up)]
+
+    def route(
+        self, src: "Host", dst: "Host", flow_seq: int = 0
+    ) -> Optional[list[Link]]:
+        """The route for one flow (loopback routes are empty).
+
+        Down *endpoint* NICs are still returned — whether a dead NIC
+        loses the message is the transport's call — but a cross-island
+        route is only viable through live middle hops: ``None`` means no
+        surviving path exists right now (an uplink on the only path is
+        down, or every spine path is) and the flow should park until a
+        restore.
+        """
         if src is dst:
             return []
         if src.island_id == dst.island_id:
             return [self.nic_tx(src), self.nic_rx(dst)]
-        return [
-            self.nic_tx(src),
-            self.uplink_tx(src.island_id),
-            self.spine,
-            self.uplink_rx(dst.island_id),
-            self.nic_rx(dst),
-        ]
+        up_tx = self.uplink_tx(src.island_id)
+        up_rx = self.uplink_rx(dst.island_id)
+        if not (up_tx.up and up_rx.up):
+            return None
+        spine = self.spine_path(src, dst, flow_seq)
+        if spine is None:
+            return None
+        return [self.nic_tx(src), up_tx, spine, up_rx, self.nic_rx(dst)]
 
     # -- the fluid fair-share engine ----------------------------------------
     def start_flow(self, key, route: list[Link], nbytes: int) -> Event:
@@ -448,17 +537,95 @@ class Fabric:
         self._recompute_rates()
         self._arm_timer()
 
+    # -- link faults ---------------------------------------------------------
+    _LINK_NAME = re.compile(
+        r"^(?:(nic_tx|nic_rx)\[h(\d+)\]|(uplink_tx|uplink_rx)\[i(\d+)\]"
+        r"|spine(?:\[p(\d+)\])?)$"
+    )
+
+    def link_by_name(self, name: str) -> Link:
+        """Resolve a link by its stable name, materializing it if needed.
+
+        Accepts ``nic_tx[hN]`` / ``nic_rx[hN]`` / ``uplink_tx[iN]`` /
+        ``uplink_rx[iN]`` / ``spine`` / ``spine[pN]`` — the same names
+        :meth:`utilization` reports — so fault schedules can target
+        links that have not carried traffic yet.
+        """
+        m = self._LINK_NAME.match(name)
+        if m is None:
+            raise KeyError(f"unknown link name {name!r}")
+        nic_kind, host_id, up_kind, island_id, spine_idx = m.groups()
+        if nic_kind == "nic_tx":
+            return self._nic_tx_link(int(host_id))
+        if nic_kind == "nic_rx":
+            return self._nic_rx_link(int(host_id))
+        if up_kind == "uplink_tx":
+            return self.uplink_tx(int(island_id))
+        if up_kind == "uplink_rx":
+            return self.uplink_rx(int(island_id))
+        idx = int(spine_idx) if spine_idx is not None else 0
+        spines = self.spine_links()
+        if idx >= len(spines):
+            raise KeyError(
+                f"spine path {idx} out of range (spine_paths={len(spines)})"
+            )
+        return spines[idx]
+
+    def take_down(self, link: Link) -> list[tuple[object, Optional[float]]]:
+        """Fail one link, evicting every flow crossing it *exactly*.
+
+        Fluid flows with the link on their route are aborted (their
+        share on every route link released); FIFO crossings active or
+        queued on the link are dropped.  Returns the evicted flow keys
+        in deterministic (start-order) sequence, each with the flow's
+        remaining bytes at eviction time (``None`` for FIFO crossings,
+        which retransmit the interrupted hop whole).  The caller — the
+        transport — decides each victim's fate: reroute, park, or lose.
+
+        A downed link holds zero capacity by construction, so it is
+        exempt from the drain-end ``LeakedCapacityError`` sweep until
+        :meth:`restore_link`.
+        """
+        if not link.up:
+            return []
+        link.up = False
+        link.faults += 1
+        victims: list[tuple[object, Optional[float]]] = []
+        if self._flows:
+            self._advance()
+            for key, flow in list(self._flows.items()):
+                if link in flow.route:
+                    victims.append((key, max(0.0, flow.remaining)))
+            for key, _ in victims:
+                self.abort_flow(key)
+        fifo_keys = []
+        if link._active is not None:
+            fifo_keys.append(link._active[0])
+        fifo_keys.extend(entry[0] for entry in link._queue)
+        for key in fifo_keys:
+            link.abort(key)
+            victims.append((key, None))
+        return victims
+
+    def restore_link(self, link: Link) -> bool:
+        """Bring a downed link back up (False if it was not down)."""
+        if link.up:
+            return False
+        link.up = True
+        return True
+
+    def down_links(self) -> list[Link]:
+        return [link for link in self.links() if not link.up]
+
     # -- introspection -----------------------------------------------------
     def links(self) -> list[Link]:
-        out = (
+        return (
             list(self._nic_tx.values())
             + list(self._nic_rx.values())
             + list(self._uplink_tx.values())
             + list(self._uplink_rx.values())
+            + list(self._spines)
         )
-        if self._spine is not None:
-            out.append(self._spine)
-        return out
 
     @property
     def active_flows(self) -> int:
@@ -470,7 +637,10 @@ class Fabric:
         return not self._flows and all(link.idle for link in self.links())
 
     def busy_links(self) -> list[Link]:
-        return [link for link in self.links() if not link.idle]
+        """Links carrying or queueing traffic.  Down links are exempt:
+        take-down evicts all occupancy, so they hold zero capacity by
+        construction until restored."""
+        return [link for link in self.links() if link.up and not link.idle]
 
     def _sanitizer_problems(self) -> list[tuple[str, str]]:
         """Drain-end capacity invariant: every flow gone, every link idle.

@@ -34,7 +34,7 @@ from typing import Callable, Generator, Iterable, Optional, Sequence, TYPE_CHECK
 
 from repro.config import SystemConfig
 from repro.faults import FaultError
-from repro.sim import Event, Simulator
+from repro.sim import Event, Interrupt, Simulator
 
 from repro.net.fabric import Fabric, Link
 
@@ -54,21 +54,30 @@ _SETTLED = 3       # delivered or aborted
 
 
 class MessageLost(FaultError):
-    """An in-flight message failed (endpoint crash or timeout).
+    """An in-flight message failed (endpoint death, timeout, or a parked
+    flow outliving its wait-for-restore deadline).
 
     A :class:`~repro.hw.device.FaultError`: a transfer gating a kernel
     that loses its message releases the kernel with this, and the
     dispatching program's ``retry_on_failure`` path replays the node —
-    the DCN-route-loss recovery story.
+    the DCN-route-loss recovery story.  ``category`` is the typed loss
+    bucket :attr:`TransportStats.lost_by_reason` accumulates:
+    ``"host-crash"``, ``"endpoint-down"``, ``"link-down"``,
+    ``"timeout"``, ``"park-deadline"``, or ``"other"``.
+
+    Note that only *endpoint* death loses messages: a dead middle hop
+    (uplink, spine path) reroutes or parks the flows crossing it — real
+    fabrics survive link loss; they do not survive a dead NIC.
     """
 
-    def __init__(self, message: "Message", reason: str):
+    def __init__(self, message: "Message", reason: str, category: str = "other"):
         super().__init__(
             f"message h{message.src.host_id}->h{message.dst.host_id} "
             f"({message.nbytes}B) lost: {reason}"
         )
         self.message = message
         self.reason = reason
+        self.category = category
 
 
 class Message(Event):
@@ -81,7 +90,7 @@ class Message(Event):
 
     __slots__ = (
         "msg_id", "src", "dst", "nbytes", "sent_at_us", "route",
-        "on_wire", "_state", "_proc",
+        "flow_seq", "on_wire", "reroutes", "_state", "_proc",
     )
 
     def __init__(self, sim: Simulator, src: "Host", dst: "Host", nbytes: int, name=""):
@@ -92,9 +101,16 @@ class Message(Event):
         self.nbytes = nbytes
         self.sent_at_us = sim.now
         self.route: list[Link] = []
+        #: Per-transport flow sequence number, the ECMP hash input.
+        #: Deliberately not :attr:`msg_id` (a process-global counter that
+        #: drifts across runs in one interpreter) so path choices are
+        #: identical run to run.
+        self.flow_seq = 0
         #: True once the message has fully left the sender's NIC (it is
         #: propagating): a *sender* crash no longer loses it.
         self.on_wire = False
+        #: Times this message switched to a new route after a hop died.
+        self.reroutes = 0
         #: Uncontended-path state machine; None on the contended path.
         self._state: Optional[_SendState] = None
         #: Contended-path traversal process; None on the fast path.
@@ -177,6 +193,20 @@ class _SendState:
         self.msg.fail(cause)
 
 
+class _Reroute:
+    """Interrupt cause handed to a traversal whose hop just died.
+
+    ``remaining`` is the fluid flow's unsent bytes at eviction (``None``
+    for FIFO crossings, which retransmit the interrupted hop whole).
+    """
+
+    __slots__ = ("link", "remaining")
+
+    def __init__(self, link: Link, remaining: Optional[float]):
+        self.link = link
+        self.remaining = remaining
+
+
 @dataclass(frozen=True)
 class TransportStats:
     """One point-in-time snapshot of the transport (and its fabric).
@@ -184,6 +214,10 @@ class TransportStats:
     ``link_utilization`` is the fabric's sliding-window per-link busy
     fraction (empty when the transport has no fabric); everything else
     mirrors the transport's cumulative counters at snapshot time.
+    ``lost_by_reason`` buckets every loss by its typed category
+    (``"host-crash"``, ``"endpoint-down"``, ``"link-down"``,
+    ``"timeout"``, ``"park-deadline"``, ``"other"``) — the robustness
+    accounting fault drills assert on instead of ad-hoc attribute pokes.
     """
 
     messages_sent: int
@@ -196,6 +230,14 @@ class TransportStats:
     loopback_bytes: int
     #: Distinct messages currently tracked in flight.
     in_flight: int
+    #: Flows switched to a surviving path after a non-endpoint hop died.
+    reroutes: int = 0
+    #: Park episodes: flows that waited for a link restore because no
+    #: surviving path existed (cumulative, not currently-parked).
+    messages_parked: int = 0
+    #: Messages parked right now (waiting for a restore).
+    parked_now: int = 0
+    lost_by_reason: dict[str, int] = field(default_factory=dict)
     link_utilization: dict[str, float] = field(default_factory=dict)
 
     @property
@@ -230,6 +272,19 @@ class Transport:
         self.bytes_delivered = 0
         self.messages_lost = 0
         self.retransmits = 0
+        #: Flows switched to a surviving path after a non-endpoint hop
+        #: died (the fabric's reroute-on-failure path).
+        self.reroutes = 0
+        #: Cumulative park episodes (a re-park after a failed retry
+        #: counts again — each is one wait-for-restore wait).
+        self.messages_parked = 0
+        #: Losses bucketed by :attr:`MessageLost.category`.
+        self.lost_by_reason: dict[str, int] = {}
+        #: Messages currently parked (no surviving path), in park order,
+        #: each mapped to the restore event its traversal waits on.
+        self._parked: dict[Message, Event] = {}
+        #: Per-transport ECMP flow sequence (see :attr:`Message.flow_seq`).
+        self._next_flow_seq = 0
         #: In-flight messages per endpoint host id (crash invalidation).
         #: Inner dicts are insertion-ordered sets: crash invalidation
         #: walks messages in send order, keeping schedules deterministic
@@ -301,6 +356,10 @@ class Transport:
             loopback_messages=self.loopback_messages,
             loopback_bytes=self.loopback_bytes,
             in_flight=len(in_flight),
+            reroutes=self.reroutes,
+            messages_parked=self.messages_parked,
+            parked_now=len(self._parked),
+            lost_by_reason=dict(self.lost_by_reason),
             link_utilization=(
                 self.fabric.utilization(window_us)
                 if self.fabric is not None
@@ -337,13 +396,17 @@ class Transport:
         self.bytes_sent += nbytes
         if src.failed or dst.failed:
             down = src if src.failed else dst
-            cause = MessageLost(msg, f"host {down.name} is down")
+            cause = MessageLost(msg, f"host {down.name} is down", "endpoint-down")
             msg.fail(cause)
             self._count_loss(msg, cause)
             return msg
         self._track(msg)
         if self.contended:
-            msg.route = self.fabric.route(src, dst)
+            msg.flow_seq = self._next_flow_seq
+            self._next_flow_seq += 1
+            # None (no surviving middle path) becomes the empty route:
+            # the traversal recomputes it and parks until a restore.
+            msg.route = self.fabric.route(src, dst, msg.flow_seq) or []
             msg._proc = self.sim.process(
                 self._traverse(msg),
                 name=f"net_send:{src.name}->{dst.name}" if debug else "",
@@ -480,8 +543,51 @@ class Transport:
                 continue
             doomed.append(msg)
         for msg in doomed:
-            self._abort(msg, MessageLost(msg, f"{reason}: {host.name}"))
+            self._abort(
+                msg, MessageLost(msg, f"{reason}: {host.name}", "host-crash")
+            )
         return len(doomed)
+
+    # -- link-fault integration ----------------------------------------------
+    def fail_link(self, name: str) -> int:
+        """Take one fabric link down; its flows reroute, park, or lose.
+
+        ``name`` is the stable link name (``spine[p1]``, ``uplink_tx[i0]``,
+        ``nic_rx[h3]``, ...).  Every flow crossing the link is evicted
+        with exact capacity release and its traversal re-routes: onto a
+        surviving path (fluid flows resume with their remaining bytes,
+        FIFO crossings retransmit the interrupted hop), parked until a
+        restore when no path survives, or — endpoint NIC death only —
+        failed with :class:`MessageLost`.  Returns the victim count.
+        """
+        if self.fabric is None:
+            raise RuntimeError("transport has no fabric to fail links on")
+        link = self.fabric.link_by_name(name)
+        victims = self.fabric.take_down(link)
+        for key, remaining in victims:
+            proc = getattr(key, "_proc", None)
+            if proc is not None and not proc.triggered:
+                proc.interrupt(_Reroute(link, remaining))
+        return len(victims)
+
+    def restore_link(self, name: str) -> bool:
+        """Bring a downed link back up, waking parked flows it unblocks.
+
+        Parked messages are retried in park order; each recomputes its
+        route (ECMP rehash included) and resumes from its first
+        untraversed hop.  Returns False if the link was not down.
+        """
+        if self.fabric is None:
+            raise RuntimeError("transport has no fabric to restore links on")
+        link = self.fabric.link_by_name(name)
+        if not self.fabric.restore_link(link):
+            return False
+        for msg, park in list(self._parked.items()):
+            if park.triggered or msg.triggered:
+                continue
+            if self.fabric.route(msg.src, msg.dst, msg.flow_seq) is not None:
+                park.succeed(None)
+        return True
 
     # -- internals -----------------------------------------------------------
     def _traverse(self, msg: Message) -> Generator:
@@ -489,25 +595,128 @@ class Transport:
 
         Fair sharing uses the fabric's fluid engine (the message holds
         its whole route, progressing at the bottleneck share); FIFO
-        store-and-forwards hop by hop.
+        store-and-forwards hop by hop.  The loop is the reroute engine:
+        a hop death mid-crossing interrupts the traversal with
+        :class:`_Reroute`, the route is recomputed over surviving paths
+        (fluid flows keep their remaining-byte progress; FIFO crossings
+        retransmit the interrupted hop whole), and when *no* path
+        survives the message parks until a link restore.  Only a dead
+        endpoint NIC loses the message.
         """
-        if self.fabric.sharing == "fair":
-            # The fluid flow spans the whole route (sender NIC included)
-            # until completion, so the message is on the wire only once
-            # the flow has fully drained.
-            yield self.fabric.start_flow(msg, msg.route, msg.nbytes)
-            msg.on_wire = True
-        else:
-            # Store-and-forward: past the first hop (the sender's NIC)
-            # the message is buffered in the network — a sender crash no
-            # longer loses it.
-            for i, link in enumerate(msg.route):
-                yield link.transmit(msg, msg.nbytes)
-                if i == 0:
+        fabric = self.fabric
+        fair = fabric.sharing == "fair"
+        remaining = float(msg.nbytes)
+        hop = 0  # FIFO resume index; fluid always restarts the route
+        while not msg.triggered:
+            if not msg.route:
+                new = fabric.route(msg.src, msg.dst, msg.flow_seq)
+                if new is None:
+                    ok = yield from self._park(msg)
+                    if not ok:
+                        return
+                    continue
+                msg.route = new
+                hop = 0
+            down = next(
+                (link for link in msg.route[hop:] if not link.up), None
+            )
+            if down is not None:
+                if down.kind == "nic":
+                    # The endpoint rule: fabrics survive link loss, not
+                    # a dead NIC.
+                    msg.fail(
+                        MessageLost(
+                            msg, f"endpoint NIC {down.name} is down", "link-down"
+                        )
+                    )
+                    return
+                new = fabric.route(msg.src, msg.dst, msg.flow_seq)
+                if new is None:
+                    msg.route = []
+                    continue  # no surviving path: park at the loop top
+                msg.route = new
+                msg.reroutes += 1
+                self.reroutes += 1
+                continue
+            try:
+                if fair:
+                    # The fluid flow spans the whole route (sender NIC
+                    # included) until completion, so the message is on
+                    # the wire only once the flow has fully drained.
+                    yield fabric.start_flow(msg, msg.route, remaining)
                     msg.on_wire = True
+                else:
+                    # Store-and-forward: past the first hop (the
+                    # sender's NIC) the message is buffered in the
+                    # network — a sender crash no longer loses it.
+                    while hop < len(msg.route):
+                        link = msg.route[hop]
+                        if not link.up:
+                            break  # died since the check; re-route above
+                        yield link.transmit(msg, msg.nbytes)
+                        hop += 1
+                        if hop == 1:
+                            msg.on_wire = True
+                    if hop < len(msg.route):
+                        continue
+            except Interrupt as intr:
+                if isinstance(intr.cause, _Reroute):
+                    if intr.cause.remaining is not None:
+                        remaining = intr.cause.remaining
+                    continue
+                return  # crash/timeout abort: the message already failed
+            break
+        if msg.triggered:
+            return
         yield self.sim.timeout(self.config.dcn_latency_us)
         if not msg.triggered:
             msg.succeed(None)
+
+    def _park(self, msg: Message) -> Generator:
+        """Wait parked for a link restore (no surviving path right now).
+
+        Returns True when a restore made a route viable again (the
+        traversal retries), False when the message was failed meanwhile
+        (park deadline, endpoint crash, timeout).
+        """
+        park = Event(
+            self.sim,
+            f"park:h{msg.src.host_id}->h{msg.dst.host_id}"
+            if self.sim.debug_names
+            else "",
+        )
+        self._parked[msg] = park
+        self.messages_parked += 1
+        deadline = self.config.net_park_deadline_us
+        if deadline > 0:
+            self.sim.timeout(deadline).add_callback(
+                lambda ev, m=msg, p=park: self._on_park_deadline(m, p)
+            )
+        try:
+            yield park
+        except Interrupt as intr:
+            return isinstance(intr.cause, _Reroute)  # else: abort won
+        except MessageLost:
+            return False
+        finally:
+            if self._parked.get(msg) is park:
+                del self._parked[msg]
+        return True
+
+    def _on_park_deadline(self, msg: Message, park: Event) -> None:
+        # Park-token guard: only the episode that armed this timer may
+        # be killed by it — a restore-then-repark message is a *new*
+        # episode with its own deadline.
+        if self._parked.get(msg) is not park or msg.triggered:
+            return
+        self._abort(
+            msg,
+            MessageLost(
+                msg,
+                "parked past the wait-for-restore deadline",
+                "park-deadline",
+            ),
+        )
 
     def _collective_wire(self, hosts: list, nbytes: int):
         def _proc() -> Generator:
@@ -533,6 +742,7 @@ class Transport:
 
     def _on_settled(self, ev: Event) -> None:
         msg: Message = ev  # tracked events are always Messages
+        self._parked.pop(msg, None)
         for host in (msg.src, msg.dst):
             in_flight = self._in_flight.get(host.host_id)
             if in_flight is not None:
@@ -545,12 +755,14 @@ class Transport:
 
     def _count_loss(self, msg: Message, cause: BaseException) -> None:
         self.messages_lost += 1
+        category = getattr(cause, "category", "other")
+        self.lost_by_reason[category] = self.lost_by_reason.get(category, 0) + 1
         for fn in self._loss_listeners:
             fn(msg, cause)
 
     def _on_timeout(self, msg: Message) -> None:
         if not msg.triggered:
-            self._abort(msg, MessageLost(msg, "delivery timeout"))
+            self._abort(msg, MessageLost(msg, "delivery timeout", "timeout"))
 
     def _abort(self, msg: Message, cause: MessageLost) -> None:
         """Fail one in-flight message, releasing all held capacity."""
@@ -573,5 +785,5 @@ class Transport:
         if msg.triggered:
             return
         if not isinstance(cause, MessageLost):
-            cause = MessageLost(msg, repr(cause))
+            cause = MessageLost(msg, repr(cause), "host-crash")
         msg.fail(cause)

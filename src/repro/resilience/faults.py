@@ -30,6 +30,8 @@ class FaultKind(Enum):
     DEVICE_FAILURE = "device_failure"
     HOST_CRASH = "host_crash"
     ISLAND_PREEMPTION = "island_preemption"
+    LINK_DOWN = "link_down"
+    LINK_RESTORE = "link_restore"
 
 
 @dataclass(frozen=True, order=True)
@@ -47,13 +49,20 @@ class FaultEvent:
     hardware actually goes away ``notice_us`` later, giving an attached
     :class:`~repro.resilience.elastic.ElasticController` the window to
     drain the island gracefully instead of losing in-flight work.
+
+    ``link`` (link faults only) is the fabric link's stable name
+    (``spine[p1]``, ``uplink_tx[i0]``, ``nic_rx[h3]``, ...; see
+    :meth:`repro.net.Fabric.link_by_name`); ``target`` is unused for
+    link faults.  A ``LINK_DOWN`` with ``repair_us > 0`` restores the
+    link that long after the fault.
     """
 
     at_us: float
     kind: FaultKind = field(compare=False)
-    target: int = field(compare=False)
+    target: int = field(default=0, compare=False)
     repair_us: float = field(default=0.0, compare=False)
     notice_us: float = field(default=0.0, compare=False)
+    link: str = field(default="", compare=False)
 
     def __post_init__(self) -> None:
         if self.at_us < 0:
@@ -66,6 +75,11 @@ class FaultEvent:
             raise ValueError(f"notice time must be >= 0, got {self.notice_us}")
         if self.notice_us > 0 and self.kind is not FaultKind.ISLAND_PREEMPTION:
             raise ValueError("advance notice only applies to island preemptions")
+        link_fault = self.kind in (FaultKind.LINK_DOWN, FaultKind.LINK_RESTORE)
+        if link_fault and not self.link:
+            raise ValueError(f"{self.kind.value} needs a link name")
+        if self.link and not link_fault:
+            raise ValueError("link names only apply to link faults")
 
 
 class FaultSchedule:
@@ -107,6 +121,49 @@ class FaultSchedule:
                 notice_us=notice_us,
             )
         )
+
+    def link_down(
+        self, at_us: float, link: str, repair_us: float = 0.0
+    ) -> "FaultSchedule":
+        return self.add(
+            FaultEvent(at_us, FaultKind.LINK_DOWN, repair_us=repair_us, link=link)
+        )
+
+    def link_restore(self, at_us: float, link: str) -> "FaultSchedule":
+        return self.add(FaultEvent(at_us, FaultKind.LINK_RESTORE, link=link))
+
+    @classmethod
+    def poisson_link_flaps(
+        cls,
+        mtbf_us: float,
+        horizon_us: float,
+        links: Iterable[str],
+        seed: int = 0,
+        repair_us: float = 10_000.0,
+    ) -> "FaultSchedule":
+        """Exponential per-link flap inter-arrivals with mean ``mtbf_us``.
+
+        A *flap* is a ``LINK_DOWN`` that self-restores after
+        ``repair_us`` (must be positive: a permanent loss is
+        :meth:`link_down` with ``repair_us=0``).  Deterministic for a
+        given seed, like :meth:`poisson_device_failures`.
+        """
+        if mtbf_us <= 0:
+            raise ValueError(f"mtbf must be positive, got {mtbf_us}")
+        if repair_us <= 0:
+            raise ValueError(f"flap repair time must be positive, got {repair_us}")
+        rng = np.random.default_rng(seed)
+        events: list[FaultEvent] = []
+        for link in links:
+            t = float(rng.exponential(mtbf_us))
+            while t < horizon_us:
+                events.append(
+                    FaultEvent(
+                        t, FaultKind.LINK_DOWN, repair_us=repair_us, link=link
+                    )
+                )
+                t += repair_us + float(rng.exponential(mtbf_us))
+        return cls(events)
 
     @classmethod
     def poisson_device_failures(

@@ -67,6 +67,7 @@ class RecoveryManager:
         self.device_failures = 0
         self.host_crashes = 0
         self.preemptions = 0
+        self.link_faults = 0
         self.repairs = 0
         self.remaps = 0
         self.programs_recovered = 0
@@ -86,6 +87,7 @@ class RecoveryManager:
             device_failures=self.device_failures,
             host_crashes=self.host_crashes,
             preemptions=self.preemptions,
+            link_faults=self.link_faults,
             repairs=self.repairs,
             remaps=self.remaps,
             programs_recovered=self.programs_recovered,
@@ -126,6 +128,14 @@ class RecoveryManager:
                 )
                 return
             self.preempt_island(event.target, event.repair_us)
+        elif event.kind is FaultKind.LINK_DOWN:
+            self.take_link_down(event.link)
+            if event.repair_us > 0:
+                self._after(
+                    event.repair_us, lambda: self.restore_link(event.link)
+                )
+        elif event.kind is FaultKind.LINK_RESTORE:
+            self.restore_link(event.link)
         else:  # pragma: no cover - defensive
             raise ValueError(f"unknown fault kind {event.kind!r}")
 
@@ -172,6 +182,20 @@ class RecoveryManager:
         for device in host.devices:
             self._readmit(device)
         self.system.resource_manager.capacity_changed("restore", host.island_id)
+
+    def take_link_down(self, link: str) -> int:
+        """Fail one fabric link; flows reroute, park, or (endpoint NIC
+        death only) are lost.  Returns the evicted-flow count."""
+        self.epoch += 1
+        self.link_faults += 1
+        return self.system.transport.fail_link(link)
+
+    def restore_link(self, link: str) -> bool:
+        """Bring a downed fabric link back, waking parked flows."""
+        restored = self.system.transport.restore_link(link)
+        if restored:
+            self.repairs += 1
+        return restored
 
     def preempt_island(self, island_id: int, duration_us: float) -> None:
         """The whole island is preempted for ``duration_us``: scheduling

@@ -117,6 +117,9 @@ class RecoveryStats(Stats):
     remaps: int
     programs_recovered: int
     messages_lost: int
+    #: Fabric links taken down (LINK_DOWN faults and direct
+    #: ``take_link_down`` calls); restores count into ``repairs``.
+    link_faults: int = 0
 
 
 @dataclass(frozen=True)

@@ -32,7 +32,7 @@ from repro.config import DEFAULT_CONFIG, SystemConfig
 from repro.core.system import PathwaysSystem
 from repro.hw.cluster import ClusterSpec
 from repro.net import MessageLost
-from repro.resilience import RecoveryManager
+from repro.resilience import FaultInjector, FaultSchedule, RecoveryManager
 from repro.xla.computation import CompiledFunction
 from repro.xla.shapes import TensorSpec
 
@@ -63,6 +63,16 @@ class NetCongestionResult:
     fabric_idle: bool
     nic_slots_leaked: int
     crash_injected: bool
+    #: ECMP width the run used (``SystemConfig.spine_paths``).
+    spine_paths: int = 1
+    #: Flows rehashed onto a surviving path after a link fault.
+    reroutes: int = 0
+    #: Wait-for-restore park episodes (no surviving path existed).
+    messages_parked: int = 0
+    #: Typed loss buckets from ``transport.stats().lost_by_reason``.
+    lost_by_reason: dict[str, int] = field(default_factory=dict)
+    #: LINK_DOWN faults the recovery manager delivered.
+    link_faults: int = 0
     per_sender_bytes: list[int] = field(default_factory=list)
     system_handle: Optional[PathwaysSystem] = None
 
@@ -149,6 +159,10 @@ def run_net_congestion(
     probe_compute_us: float = 200.0,
     crash_sender_at: Optional[float] = None,
     crash_repair_us: float = 8_000.0,
+    spine_paths: int = 1,
+    link_down_at: Optional[float] = None,
+    link_down: Optional[str] = None,
+    link_repair_us: float = 8_000.0,
     reliable: Optional[bool] = None,
     config: SystemConfig = DEFAULT_CONFIG,
     debug_names: bool = False,
@@ -160,6 +174,14 @@ def run_net_congestion(
     ``crash_sender_at`` crashes sender host 0 at that time (restoring
     ``crash_repair_us`` later); senders then default to reliable
     (retransmitting) sends and probes run with ``retry_on_failure``.
+
+    ``link_down_at`` schedules a ``LINK_DOWN`` fault (restored
+    ``link_repair_us`` later, 0 = never) against ``link_down`` — default
+    spine path 0 — delivered through the first-class
+    :class:`~repro.resilience.FaultInjector` path.  With
+    ``spine_paths >= 2`` the drill exercises ECMP reroute-on-failure:
+    surviving flows rehash onto the remaining paths and no message whose
+    endpoints are alive is lost.
     """
     if n_senders > hosts_per_island:
         raise ValueError(
@@ -169,7 +191,9 @@ def run_net_congestion(
     if reliable is None:
         reliable = crash
     config = config.with_overrides(
-        net_contention=contention, net_link_sharing=sharing
+        net_contention=contention,
+        net_link_sharing=sharing,
+        spine_paths=spine_paths,
     )
     system = PathwaysSystem.build(
         ClusterSpec(
@@ -258,6 +282,15 @@ def run_net_congestion(
                 lambda ev: recovery.restore_host(victim)
             )
 
+    if link_down_at is not None:
+        target_link = link_down or ("spine" if spine_paths == 1 else "spine[p0]")
+        FaultInjector(
+            recovery,
+            FaultSchedule().link_down(
+                link_down_at, target_link, repair_us=link_repair_us
+            ),
+        )
+
     start = sim.now
     sim.run_until_triggered(sim.all_of(procs))
     elapsed = sim.now - start
@@ -283,6 +316,11 @@ def run_net_congestion(
         fabric_idle=system.cluster.fabric.idle,
         nic_slots_leaked=nic_slots_leaked,
         crash_injected=crash,
+        spine_paths=spine_paths,
+        reroutes=net.reroutes,
+        messages_parked=net.messages_parked,
+        lost_by_reason=net.lost_by_reason,
+        link_faults=recovery.stats().link_faults,
         per_sender_bytes=[s["bytes"] for s in sender_stats],
         system_handle=system,
     )

@@ -130,6 +130,63 @@ class TestGoldenContendedFabric:
         assert r_plain.messages_lost == r_named.messages_lost
 
 
+#: ECMP/fault variant of the contended-fabric golden: two spine paths,
+#: a mid-run spine-path LINK_DOWN (so flows actually reroute) and its
+#: restore — the seeded-CRC hash, eviction, rehash, and park/wake paths
+#: all fire under a schedule that must stay byte-identical.
+ECMP_KWARGS = dict(
+    n_senders=4,
+    streams=2,
+    hosts_per_island=4,
+    devices_per_host=4,
+    flow_bytes=4 << 20,
+    duration_us=30_000.0,
+    n_probes=3,
+    spine_paths=2,
+    link_down_at=8_000.0,
+    link_repair_us=10_000.0,
+)
+
+
+def _golden_ecmp_run(debug_names: bool):
+    result = run_net_congestion(
+        debug_names=debug_names, log_schedule=True, **ECMP_KWARGS
+    )
+    sim = result.system_handle.sim
+    schedule = [
+        (t, seq, re.sub(r"#\d+", "#N", name))
+        for seq, (t, name) in enumerate(sim.schedule_log)
+    ]
+    return schedule, result
+
+
+class TestGoldenEcmpReroute:
+    @pytest.mark.parametrize("debug_names", [False, True])
+    def test_two_runs_identical_schedule(self, debug_names):
+        first, r1 = _golden_ecmp_run(debug_names)
+        second, r2 = _golden_ecmp_run(debug_names)
+        # The drill is only meaningful if the fault really forced a
+        # reroute mid-run — and it must cost no messages.
+        assert r1.link_faults == 1 and r1.reroutes > 0
+        assert r1.messages_lost == 0
+        assert len(first) > 300
+        assert first == second
+        assert r1.elapsed_us == r2.elapsed_us
+        assert r1.bytes_delivered == r2.bytes_delivered
+        assert r1.reroutes == r2.reroutes
+        assert r1.messages_parked == r2.messages_parked
+
+    def test_debug_names_do_not_affect_scheduling(self):
+        plain, r_plain = _golden_ecmp_run(debug_names=False)
+        named, r_named = _golden_ecmp_run(debug_names=True)
+        assert [(t, seq) for t, seq, _ in plain] == [
+            (t, seq) for t, seq, _ in named
+        ]
+        assert r_plain.elapsed_us == r_named.elapsed_us
+        assert r_plain.bytes_delivered == r_named.bytes_delivered
+        assert r_plain.reroutes == r_named.reroutes
+
+
 #: Serving scenario on the contended fabric: Poisson admission over the
 #: transport, continuous batching, deadline-armed gangs, an autoscaler
 #: growing/shrinking replicas, and a mid-run device failure recovered
