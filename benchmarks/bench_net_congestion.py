@@ -15,6 +15,11 @@ previous benchmark could express any of these):
    after the host restores, probe programs replay via
    ``retry_on_failure``, and *no NIC or link capacity leaks* (the fabric
    ends idle).
+4. **Flow-scale solver scaling** — the same flow fleet at increasing
+   concurrent-flow counts on both fluid engines: the dense reference's
+   per-change work grows with the fleet while the scoped solver's
+   affected set stays the per-NIC-pair flow count, with per-flow
+   delivery times exactly equal between the two at every scale.
 
 Scale: config-B-shaped islands (8 TPUs/host); smoke mode trims the
 sweep and shrinks the islands.
@@ -24,7 +29,7 @@ from __future__ import annotations
 
 from repro.bench.harness import Table, full_asserts, smoke_mode, smoke_trim
 from repro.config import DEFAULT_CONFIG
-from repro.workloads.netload import run_net_congestion
+from repro.workloads.netload import run_flow_fleet, run_net_congestion
 
 
 #: Narrow per-path spine under a wide uplink, so the spine tier is the
@@ -227,6 +232,113 @@ def test_spine_failure_rebalances_without_message_loss():
     assert r.achieved_gbps > 1.1 * _ECMP_CONFIG.net_spine_gbps, r
     # And the drill left no capacity behind.
     assert r.fabric_idle and r.nic_slots_leaked == 0, r
+
+
+def test_flow_scale_wall_clock_scoped_vs_dense():
+    """Wall-clock vs concurrent-flow count on both fluid engines.
+
+    The dense reference touches every live flow on every membership
+    change, so its per-update work (and wall-clock) grows with the
+    fleet; the scoped solver's affected set is the per-NIC-pair flow
+    count — a ~``hosts/2``-fold smaller touch set at every scale.  The
+    shape assertions use the solvers' own deterministic work counters
+    (immune to machine noise); the wall-clock ratio gets a modest floor
+    in smoke and the superlinear-gap check in full mode.
+    """
+    counts = smoke_trim([600, 1200, 2400], keep=2)
+
+    table = Table(
+        "Flow-scale sweep: scoped vs dense fluid-solver wall-clock",
+        columns=[
+            "flows", "peak", "dense wall (s)", "scoped wall (s)", "speedup",
+            "dense touched/upd", "scoped touched/upd",
+        ],
+    )
+    runs = []
+    for n in counts:
+        dense = run_flow_fleet(n_flows=n, fluid_solver="dense")
+        scoped = run_flow_fleet(n_flows=n, fluid_solver="scoped")
+        # Byte-identity at every scale — the equivalence contract.
+        assert scoped.deliveries == dense.deliveries, n
+        assert scoped.fabric.idle and dense.fabric.idle, n
+        assert scoped.peak_concurrent_flows == dense.peak_concurrent_flows
+        runs.append((n, dense, scoped))
+        table.add_row(
+            n, scoped.peak_concurrent_flows, dense.wall_s, scoped.wall_s,
+            dense.wall_s / scoped.wall_s,
+            dense.fabric.flows_touched_per_update,
+            scoped.fabric.flows_touched_per_update,
+        )
+    table.show()
+
+    for n, dense, scoped in runs:
+        # The affected set is a small fraction of the live fleet: the
+        # scoped engine must touch far fewer flows per change (these
+        # are exact event counters, not timings).
+        assert (
+            scoped.fabric.flows_touched * 8 < dense.fabric.flows_touched
+        ), n
+    # Dense per-update work grows with the fleet; scoped tracks the
+    # per-pair population, so the *gap* widens with scale.
+    first, last = runs[0], runs[-1]
+    gap_first = (
+        first[1].fabric.flows_touched_per_update
+        / first[2].fabric.flows_touched_per_update
+    )
+    gap_last = (
+        last[1].fabric.flows_touched_per_update
+        / last[2].fabric.flows_touched_per_update
+    )
+    assert gap_last >= 0.8 * gap_first, (gap_first, gap_last)
+    # Wall-clock: a conservative floor in smoke (CI machines are
+    # noisy); the full run demands the widening superlinear gap.
+    assert last[1].wall_s / last[2].wall_s >= 1.5, (last[1].wall_s, last[2].wall_s)
+    if full_asserts():
+        assert last[1].wall_s / last[2].wall_s >= 3.0
+        assert (
+            last[1].wall_s / last[2].wall_s
+            >= first[1].wall_s / first[2].wall_s
+        )
+
+
+def test_fault_drills_match_under_both_solvers():
+    """The fault matrix on each fluid engine: host-crash eviction with
+    retransmit, and ECMP spine failure with reroute-carrying-remaining-
+    bytes — identical simulated outcomes, zero leaked capacity."""
+    scale = _scale()
+    drills = {
+        "crash": dict(
+            n_senders=2, streams=2, flow_bytes=8 << 20, n_probes=0,
+            crash_sender_at=scale["duration_us"] * 0.25,
+            crash_repair_us=scale["duration_us"] * 0.2,
+        ),
+        "spine": dict(
+            n_senders=4, streams=2, n_probes=0, flow_bytes=8 << 20,
+            spine_paths=2,
+            link_down_at=scale["duration_us"] * 0.3,
+            link_repair_us=scale["duration_us"] * 0.3,
+        ),
+    }
+    for drill, kwargs in drills.items():
+        base = _ECMP_CONFIG if drill == "spine" else DEFAULT_CONFIG
+        dense = run_net_congestion(
+            config=base.with_overrides(fluid_solver="dense"),
+            **kwargs, **scale,
+        )
+        scoped = run_net_congestion(
+            config=base.with_overrides(fluid_solver="scoped"),
+            **kwargs, **scale,
+        )
+        for r in (dense, scoped):
+            assert r.fabric_idle and r.nic_slots_leaked == 0, (drill, r)
+        # Same simulated story, down to the exact clock and byte counts.
+        assert dense.elapsed_us == scoped.elapsed_us, drill
+        assert dense.bytes_delivered == scoped.bytes_delivered, drill
+        assert dense.per_sender_bytes == scoped.per_sender_bytes, drill
+        assert dense.messages_lost == scoped.messages_lost, drill
+        assert dense.retransmits == scoped.retransmits, drill
+        assert dense.reroutes == scoped.reroutes, drill
+        assert dense.messages_parked == scoped.messages_parked, drill
 
 
 def test_fifo_discipline_also_saturates_and_recovers():

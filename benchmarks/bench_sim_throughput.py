@@ -4,10 +4,13 @@ Unlike every other bench (which reports *simulated* quantities), this
 one measures the simulator itself: wall-clock seconds and engine
 events/sec per sweep point — the Figure-5 dispatch sweep at
 configuration-B scale, a paper-scale churn point (configuration A), the
-contended-fabric and serving scenarios, and the FLEET-C point: a fleet
+contended-fabric and serving scenarios, the FLEET-C point: a fleet
 of configuration-C cells of pure timer load that pits the calendar-queue
 core against the reference heap core at fleet scale (hundreds of
-thousands of live timers) and asserts the calendar's >=2x events/sec.
+thousands of live timers) and asserts the calendar's >=2x events/sec,
+and the NET-F point: thousands of concurrent fluid flows that pit the
+scoped incremental fair-share solver against the dense reference and
+assert the scoped >=3x wall-clock win at byte-identical schedules.
 
 Every point is an independent :class:`~repro.bench.sweep.SweepTask`, so
 the sweep fans out across cores (``benchmarks/run.py --jobs N`` or
@@ -38,6 +41,14 @@ FLEET_CELLS_FULL = 4000
 
 #: Acceptance floor for the calendar core at fleet scale.
 FLEET_MIN_SPEEDUP = 2.0
+
+#: NET-F scale: one island of 64 hosts paired into 32 sender/receiver
+#: NIC pairs, 2600 open-loop 1 MiB flows arriving inside a 1 ms burst —
+#: >=2000 simultaneously-live fluid flows at the peak.
+NET_FLOW_COUNT = 2600
+
+#: Acceptance floor for the scoped fluid solver at flow scale.
+NET_FLOW_MIN_SPEEDUP = 3.0
 
 
 def _tasks() -> list[SweepTask]:
@@ -75,6 +86,18 @@ def _tasks() -> list[SweepTask]:
     # ECMP multipath point: spine-bound flows with a mid-run spine-link
     # failure and restore — regression-gates the reroute/park hot path.
     tasks.append(SweepTask("NET-E", 4, "repro.bench.targets:net_ecmp"))
+    # NET-F: flow-scale fluid-solver acceptance point.  The identical
+    # flow fleet runs on the dense reference engine then the scoped
+    # engine inside one task (the FLEET-C pattern), asserting exact
+    # per-flow delivery equality plus the scoped >=3x wall-clock win.
+    tasks.append(
+        SweepTask(
+            "NET-F", NET_FLOW_COUNT, "repro.bench.targets:net_flow_scale",
+            kwargs=dict(
+                n_flows=NET_FLOW_COUNT, min_speedup=NET_FLOW_MIN_SPEEDUP,
+            ),
+        )
+    )
     # Serving point: open-loop Poisson traffic through the repro.serve
     # stack (frontend admission, continuous batching, deadline-armed
     # gangs, a replica-loss recovery) over the contended fabric.
@@ -121,7 +144,7 @@ def test_sim_throughput():
         )
     # The Figure-5 dispatch sweep on its own (the headline ≥5× speedup
     # quantity) and the overall total including the scenario points.
-    scenario = ("CHURN-A", "NET-C", "NET-E", "SERVE", "FLEET-C")
+    scenario = ("CHURN-A", "NET-C", "NET-E", "NET-F", "SERVE", "FLEET-C")
     fig5 = [p for p in rec.points if p.series not in scenario]
     fig5_wall = sum(p.wall_s for p in fig5)
     fig5_events = sum(p.events for p in fig5)
@@ -143,6 +166,14 @@ def test_sim_throughput():
         f"{fleet.extra['heap_events_per_sec']:,.0f} ev/s "
         f"({fleet.extra['speedup']:.2f}x)"
     )
+    netf = rec.series("NET-F")[0]
+    print(
+        f"NET-F: {netf.extra['peak_flows']:,d} peak concurrent flows — "
+        f"scoped {netf.extra['scoped_wall_s']:.2f}s vs dense "
+        f"{netf.extra['dense_wall_s']:.2f}s ({netf.extra['speedup']:.2f}x); "
+        f"flows touched/update {netf.extra['scoped_touched_per_update']:.1f} "
+        f"vs {netf.extra['dense_touched_per_update']:.1f}"
+    )
 
     path = rec.write()
     print(f"trajectory artifact written to {path}")
@@ -154,6 +185,8 @@ def test_sim_throughput():
     for p in rec.points:
         assert p.events > 0 and p.wall_s > 0 and p.sim_us > 0, p
     assert fleet.extra["speedup"] >= FLEET_MIN_SPEEDUP, fleet.extra
+    assert netf.extra["speedup"] >= NET_FLOW_MIN_SPEEDUP, netf.extra
+    assert netf.extra["peak_flows"] >= 2000, netf.extra
     # Very conservative floor — catches only catastrophic engine
     # regressions; the CI baseline comparison is the sharp check.
     assert rec.aggregate_events_per_sec > 10_000, rec.aggregate_events_per_sec

@@ -19,6 +19,8 @@ __all__ = [
     "dispatch_point",
     "fleet_speedup",
     "net_contention",
+    "net_ecmp",
+    "net_flow_scale",
     "serving_slo",
 ]
 
@@ -149,6 +151,62 @@ def net_ecmp(
             "fabric_idle": r.fabric_idle,
             "no_nic_leak": r.nic_slots_leaked == 0,
         },
+    }
+
+
+def net_flow_scale(
+    n_flows: int = 2600,
+    hosts: int = 64,
+    flow_bytes: int = 1 << 20,
+    arrival_window_us: float = 1_000.0,
+    min_peak_flows: int = 2000,
+    min_speedup: Optional[float] = 3.0,
+) -> dict:
+    """NET-F point: flow-scale fabric load, scoped vs dense fluid solver.
+
+    Mirrors :func:`fleet_speedup`: the identical flow fleet runs on the
+    dense reference engine and then the scoped engine back to back in
+    this one process, so the speedup ratio is stable under concurrent
+    sweep points.  The reported point is the *scoped* measurement (the
+    shipping engine); the dense reference and the ratio land in
+    ``extra``.  ``identical_deliveries`` is the byte-identity invariant
+    — exact float equality of every per-flow delivery time.
+    """
+    from repro.workloads.netload import run_flow_fleet
+
+    dense = run_flow_fleet(
+        n_flows=n_flows, hosts=hosts, flow_bytes=flow_bytes,
+        arrival_window_us=arrival_window_us, fluid_solver="dense",
+    )
+    scoped = run_flow_fleet(
+        n_flows=n_flows, hosts=hosts, flow_bytes=flow_bytes,
+        arrival_window_us=arrival_window_us, fluid_solver="scoped",
+    )
+    speedup = dense.wall_s / scoped.wall_s if scoped.wall_s else 0.0
+    checks = {
+        "identical_deliveries": scoped.deliveries == dense.deliveries,
+        f"peak_flows_>={min_peak_flows}": (
+            scoped.peak_concurrent_flows >= min_peak_flows
+        ),
+        "fabric_idle": scoped.fabric.idle and dense.fabric.idle,
+    }
+    if min_speedup is not None:
+        checks[f"scoped_speedup_>={min_speedup:g}x"] = speedup >= min_speedup
+    return {
+        "events": scoped.events,
+        "sim_us": scoped.elapsed_us,
+        "wall_s": scoped.wall_s,
+        "extra": {
+            "peak_flows": scoped.peak_concurrent_flows,
+            "dense_wall_s": dense.wall_s,
+            "scoped_wall_s": scoped.wall_s,
+            "speedup": speedup,
+            "scoped_touched_per_update": (
+                scoped.fabric.flows_touched_per_update
+            ),
+            "dense_touched_per_update": dense.fabric.flows_touched_per_update,
+        },
+        "checks": checks,
     }
 
 

@@ -32,12 +32,31 @@ Two serialization disciplines are supported (``net_link_sharing``):
 * ``"fair"`` — the flow-level fluid model packet-switched networks
   approximate: a message occupies *every* link on its route
   simultaneously and progresses at ``min over links of
-  (link bandwidth / flows on that link)``, recomputed whenever any flow
-  starts, finishes, or aborts.  A lone flow runs at its bottleneck link
-  rate; aggregate goodput through a shared uplink saturates at exactly
-  the uplink bandwidth.
+  (link bandwidth / flows on that link)``, recomputed whenever flow
+  membership changes.  A lone flow runs at its bottleneck link rate;
+  aggregate goodput through a shared uplink saturates at exactly the
+  uplink bandwidth.
 * ``"fifo"`` — store-and-forward: the message crosses hops one at a
   time, each hop serving one message at a time in arrival order.
+
+Two interchangeable engines drive the fluid model
+(``SystemConfig.fluid_solver`` / ``REPRO_NET_FLUID_SOLVER``; explicit
+config wins over the env var, default ``"scoped"``):
+
+* ``"scoped"`` — incremental: each link keeps the insertion-ordered set
+  of flows crossing it, so a membership change touches only the
+  *affected set* (flows sharing a link whose flow count changed), flow
+  progress integrates lazily per flow (work-remaining updated only when
+  that flow's rate changes), and projected completions live in a keyed
+  heap with lazy invalidation — O(affected · route + log F) per change.
+* ``"dense"`` — the reference engine: every membership change
+  recomputes every live flow's rate and min-scans all projected
+  completions, O(F) per change.
+
+Both engines share the same flow arithmetic and drive one cancellable
+:class:`~repro.sim.TimerHandle`, so they produce **byte-identical
+schedules** — not merely equal delivery times — on every scenario
+(``tests/test_fluid_solver.py`` pins this property).
 
 Both disciplines support exact abort — an in-flight message whose
 endpoint host crashed releases all held capacity immediately, the
@@ -51,9 +70,12 @@ transparently.
 
 from __future__ import annotations
 
+import heapq
+import os
 import re
 import zlib
 from collections import deque
+from operator import attrgetter
 from typing import Deque, Optional, TYPE_CHECKING
 
 from repro.config import SystemConfig
@@ -62,11 +84,10 @@ from repro.sim import Event, Simulator
 if TYPE_CHECKING:  # pragma: no cover
     from repro.hw.host import Host
 
-__all__ = ["Fabric", "Link"]
+__all__ = ["DenseFluidSolver", "Fabric", "Link", "ScopedFluidSolver"]
 
-#: Residual-byte tolerance for fluid completion (float accumulation of
-#: rate * elapsed products).
-_EPS_BYTES = 1e-6
+#: "Never finishes" sentinel for unrated flows' projected completion.
+_NEVER = float("inf")
 
 
 class Link:
@@ -90,6 +111,7 @@ class Link:
         "flows_aborted",
         "max_concurrency",
         "fluid_flows",
+        "_fluid",
         "util_window_us",
         "_gen",
         "_queue",
@@ -123,8 +145,15 @@ class Link:
         self.flows_completed = 0
         self.flows_aborted = 0
         self.max_concurrency = 0
-        #: Live fluid flows crossing this link (maintained by Fabric).
+        #: Live fluid flows crossing this link (maintained by the fluid
+        #: solver).  The count is denormalized from ``_fluid`` because
+        #: it sits inside the rate formula's inner loop.
         self.fluid_flows = 0
+        #: The flows themselves, insertion-ordered (dict-as-set): the
+        #: scoped solver's affected-set walk and take-down eviction both
+        #: iterate this, so a hash set here would feed the schedule from
+        #: object addresses (RPR002).
+        self._fluid: dict = {}
         #: How far back :meth:`busy_fraction` can look; older busy
         #: intervals are dropped so the log stays bounded.
         self.util_window_us = util_window_us
@@ -276,13 +305,15 @@ class Link:
         if self._active is None and self._queue and self.up:
             self._start(self._queue.popleft())
 
-    # -- fluid-flow membership (driven by Fabric) ---------------------------
-    def fluid_enter(self) -> None:
+    # -- fluid-flow membership (driven by the fluid solver) -----------------
+    def fluid_enter(self, flow) -> None:
+        self._fluid[flow] = None
         self.fluid_flows += 1
         self._note_concurrency()
         self._sync_busy()
 
-    def fluid_exit(self) -> None:
+    def fluid_exit(self, flow) -> None:
+        del self._fluid[flow]
         self.fluid_flows -= 1
         self._sync_busy()
 
@@ -290,15 +321,304 @@ class Link:
 class _Flow:
     """One fluid flow spanning its whole route."""
 
-    __slots__ = ("key", "route", "remaining", "nbytes", "ev", "rate")
+    __slots__ = (
+        "key", "route", "remaining", "nbytes", "ev", "rate",
+        "seq", "synced_at", "finish_at", "epoch", "cal_ver",
+    )
 
-    def __init__(self, key, route: list[Link], nbytes: int, ev: Event):
+    def __init__(self, key, route: list[Link], nbytes: int, ev: Event,
+                 seq: int, now: float):
         self.key = key
         self.route = route
         self.remaining = float(nbytes)
         self.nbytes = nbytes
         self.ev = ev
         self.rate = 0.0
+        #: Start order — the deterministic tie-break for same-instant
+        #: completions (identical to the dense engine's insertion-order
+        #: registry walk).
+        self.seq = seq
+        #: Last time ``remaining`` was integrated (lazy advance: work
+        #: only moves from projection to state when the rate changes).
+        self.synced_at = now
+        #: Projected completion time at the current rate.
+        self.finish_at = _NEVER
+        #: Scoped-solver bookkeeping: last affected-set epoch (dedup
+        #: across a multi-link walk) and the completion-calendar entry
+        #: version (lazy invalidation of superseded projections).
+        self.epoch = 0
+        self.cal_ver = 0
+
+
+_BY_SEQ = attrgetter("seq")
+
+
+class _FluidSolver:
+    """Shared machinery for the fluid fair-share engines.
+
+    Subclasses choose the membership-update and next-finish strategy;
+    everything observable — flow arithmetic, completion semantics,
+    eviction order, the timer schedule — lives here and is shared,
+    which is what makes the engines *byte-identical* rather than merely
+    approximately equal (``tests/test_fluid_solver.py`` pins this).
+    """
+
+    name = "base"
+
+    def __init__(self, fabric: "Fabric"):
+        self.fabric = fabric
+        self.sim = fabric.sim
+        #: key -> flow, insertion-ordered = start order (RPR002: a hash
+        #: set here would order completions by object address).
+        self.flows: dict = {}
+        self.seq = 0
+        #: The one next-finish timer.  ``schedule()`` at an unchanged
+        #: target is a seq-free no-op, so both engines consume sequence
+        #: numbers identically — whole-simulation schedules match.
+        self.timer = self.sim.timer_handle(self._on_timer, name="net_next_finish")
+        #: Observability (see ``FabricStats``).
+        self.peak_flows = 0
+        self.completed = 0
+        self.membership_updates = 0
+        self.flows_touched = 0
+        self.rate_recomputes = 0
+
+    # -- shared canonical arithmetic ------------------------------------
+    def _update_flow(self, flow: _Flow, now: float) -> bool:
+        """Recompute one flow's fair-share rate; on change, integrate
+        progress at the old rate and re-project completion.
+
+        The exact-float compare carries the equivalence argument: a
+        flow's rate is a pure function of its route links' flow counts,
+        so a flow none of whose links changed recomputes to the
+        bit-identical value and is skipped — the dense engine's skip
+        set equals the scoped engine's unaffected set exactly.
+        """
+        self.rate_recomputes += 1
+        rate = min(link.bytes_per_us / link.fluid_flows for link in flow.route)
+        if rate == flow.rate:
+            return False
+        elapsed = now - flow.synced_at
+        if elapsed > 0.0:
+            flow.remaining -= flow.rate * elapsed
+            flow.synced_at = now
+        flow.rate = rate
+        remaining = flow.remaining
+        if remaining < 0.0:
+            remaining = 0.0
+        flow.finish_at = now + remaining / rate
+        return True
+
+    def _sync(self, flow: _Flow, now: float) -> float:
+        """Integrate ``remaining`` up to ``now`` without a rate change
+        (eviction reporting); returns the clamped remaining bytes."""
+        elapsed = now - flow.synced_at
+        if elapsed > 0.0:
+            flow.remaining -= flow.rate * elapsed
+            flow.synced_at = now
+        remaining = flow.remaining
+        return remaining if remaining > 0.0 else 0.0
+
+    # -- membership ------------------------------------------------------
+    def start(self, key, route: list[Link], nbytes: int, ev: Event) -> None:
+        now = self.sim._now
+        self.seq += 1
+        flow = _Flow(key, route, nbytes, ev, self.seq, now)
+        self.flows[key] = flow
+        n = len(self.flows)
+        if n > self.peak_flows:
+            self.peak_flows = n
+        for link in route:
+            link.fluid_enter(flow)
+        self._membership_changed((route,), now)
+        self._settle_timer(now)
+
+    def abort(self, key) -> bool:
+        flow = self.flows.pop(key, None)
+        if flow is None:
+            return False
+        flow.cal_ver += 1
+        for link in flow.route:
+            link.fluid_exit(flow)
+            link.flows_aborted += 1
+        now = self.sim._now
+        self._membership_changed((flow.route,), now)
+        self._settle_timer(now)
+        return True
+
+    def evict_crossing(self, link: Link) -> list[tuple[object, float]]:
+        """Sync and report every fluid flow crossing ``link``, in start
+        order, with its exact remaining bytes (take-down eviction).
+        The caller aborts the victims afterwards."""
+        now = self.sim._now
+        return [(flow.key, self._sync(flow, now)) for flow in link._fluid]
+
+    # -- completion ------------------------------------------------------
+    def _on_timer(self, handle) -> None:
+        self._run_completions(self.sim._now)
+
+    def _run_completions(self, now: float) -> None:
+        due = self._collect_due(now)
+        while due:
+            self.completed += len(due)
+            for flow in due:
+                del self.flows[flow.key]
+                flow.cal_ver += 1
+                for link in flow.route:
+                    link.fluid_exit(flow)
+                    link.bytes_carried += flow.nbytes
+                    link.flows_completed += 1
+                if not flow.ev.triggered:
+                    flow.ev.succeed(None)
+            self._membership_changed([f.route for f in due], now)
+            # Survivors' rates only rose, so a projection can land on
+            # ``now`` again (float dust): complete those too, this
+            # instant, exactly like the historical synchronous path.
+            due = self._collect_due(now)
+        self._settle_timer(now)
+
+    def _settle_timer(self, now: float) -> None:
+        """Re-arm the next-finish timer after any membership change."""
+        if not self.flows:
+            self.timer.cancel()
+            self._on_idle()
+            return
+        best = self._min_finish()
+        if best <= now:
+            self._run_completions(now)
+            return
+        self.timer.schedule(best)
+
+    def _on_idle(self) -> None:
+        """Hook: the last flow left the fabric."""
+
+    # -- strategy hooks --------------------------------------------------
+    def _membership_changed(self, routes, now: float) -> None:
+        raise NotImplementedError
+
+    def _collect_due(self, now: float) -> list[_Flow]:
+        raise NotImplementedError
+
+    def _min_finish(self) -> float:
+        raise NotImplementedError
+
+
+class DenseFluidSolver(_FluidSolver):
+    """The reference engine: O(F) recompute-everything per change.
+
+    Every membership change touches every live flow, and the next
+    completion is a min-scan over all of them — the shape the scoped
+    engine replaces.  Kept PR-6 style: the equivalence suite drives
+    both engines with identical scenarios and asserts byte-identical
+    results, and the NET-F bench measures the scoped win against it.
+    """
+
+    name = "dense"
+
+    def _membership_changed(self, routes, now: float) -> None:
+        self.membership_updates += 1
+        flows = self.flows
+        self.flows_touched += len(flows)
+        for flow in flows.values():
+            self._update_flow(flow, now)
+
+    def _collect_due(self, now: float) -> list[_Flow]:
+        # Registry order is start order: the completion tie-break.
+        return [f for f in self.flows.values() if f.finish_at <= now]
+
+    def _min_finish(self) -> float:
+        return min(f.finish_at for f in self.flows.values())
+
+
+class ScopedFluidSolver(_FluidSolver):
+    """Scoped incremental engine: O(affected) updates + a completion
+    calendar.
+
+    A membership change re-rates only the flows that share a link with
+    the changed route(s) — the only flows whose ``bandwidth / count``
+    inputs moved.  Changed projections push versioned entries into a
+    keyed heap; superseded entries are invalidated lazily on contact,
+    so the next-finish question is an O(log F) peek instead of a
+    min-scan.
+    """
+
+    name = "scoped"
+
+    def __init__(self, fabric: "Fabric"):
+        super().__init__(fabric)
+        self.epoch = 0
+        #: Completion calendar: ``(finish_at, seq, cal_ver, flow)``
+        #: entries; an entry is live while its version matches the
+        #: flow's current ``cal_ver``.
+        self.calendar: list = []
+
+    def _membership_changed(self, routes, now: float) -> None:
+        self.membership_updates += 1
+        epoch = self.epoch = self.epoch + 1
+        touched = 0
+        cal = self.calendar
+        push = heapq.heappush
+        update = self._update_flow
+        for route in routes:
+            for link in route:
+                for flow in link._fluid:
+                    if flow.epoch == epoch:
+                        continue
+                    flow.epoch = epoch
+                    touched += 1
+                    if update(flow, now):
+                        ver = flow.cal_ver = flow.cal_ver + 1
+                        push(cal, (flow.finish_at, flow.seq, ver, flow))
+        self.flows_touched += touched
+        if len(cal) > 64 and len(cal) > 4 * len(self.flows):
+            # Compact: at most one entry per flow is live; the rest is
+            # superseded-projection garbage.  Values are untouched, so
+            # this is schedule-neutral.
+            live = [e for e in cal if e[2] == e[3].cal_ver]
+            heapq.heapify(live)
+            self.calendar = live
+
+    def _collect_due(self, now: float) -> list[_Flow]:
+        cal = self.calendar
+        due = []
+        pop = heapq.heappop
+        while cal:
+            head = cal[0]
+            if head[2] != head[3].cal_ver:
+                pop(cal)
+                continue
+            if head[0] > now:
+                break
+            pop(cal)
+            due.append(head[3])
+        if len(due) > 1:
+            # Same-instant completions resolve in start order — exactly
+            # the dense engine's registry-walk order.
+            due.sort(key=_BY_SEQ)
+        return due
+
+    def _min_finish(self) -> float:
+        cal = self.calendar
+        pop = heapq.heappop
+        while cal:
+            head = cal[0]
+            if head[2] == head[3].cal_ver:
+                return head[0]
+            pop(cal)
+        # Unreachable while flows exist: every live flow keeps one live
+        # calendar entry (pushed at birth and on every rate change).
+        return _NEVER
+
+    def _on_idle(self) -> None:
+        self.calendar.clear()
+
+
+#: Fluid-engine registry for ``SystemConfig.fluid_solver`` /
+#: ``REPRO_NET_FLUID_SOLVER``.
+_FLUID_SOLVERS = {
+    "dense": DenseFluidSolver,
+    "scoped": ScopedFluidSolver,
+}
 
 
 class Fabric:
@@ -328,10 +648,21 @@ class Fabric:
         self._uplink_tx: dict[int, Link] = {}
         self._uplink_rx: dict[int, Link] = {}
         self._spines: list[Link] = []
-        # Fluid engine state.
-        self._flows: dict = {}
-        self._flow_gen = 0
-        self._last_advance = 0.0
+        # The fluid fair-share engine (explicit config beats env beats
+        # the scoped default — the timer-queue registry precedent).
+        solver = config.fluid_solver or os.environ.get(
+            "REPRO_NET_FLUID_SOLVER", "scoped"
+        )
+        try:
+            solver_cls = _FLUID_SOLVERS[solver]
+        except KeyError:
+            raise ValueError(
+                f"unknown fluid_solver {solver!r}; "
+                f"expected one of {sorted(_FLUID_SOLVERS)}"
+            ) from None
+        #: Which fluid engine drives flow progress ("scoped" / "dense").
+        self.fluid_solver = solver
+        self._solver = solver_cls(self)
         if sim.sanitize and sim.sanitizer is not None:
             sim.sanitizer.watch(self)
 
@@ -462,80 +793,21 @@ class Fabric:
         """Start one fluid flow across ``route``; returns its completion.
 
         The flow progresses at the min over its links of
-        ``bandwidth / flows_on_link`` — recomputed for *every* live flow
-        whenever membership changes anywhere on the fabric.
+        ``bandwidth / flows_on_link``, maintained by the configured
+        fluid solver (scoped incremental by default; see the module
+        docstring).
         """
         debug = self.sim.debug_names
         ev = Event(self.sim, "flow" if debug else "")
         if nbytes <= 0 or not route:
             ev.succeed(None)
             return ev
-        self._advance()
-        flow = _Flow(key, route, nbytes, ev)
-        self._flows[key] = flow
-        for link in route:
-            link.fluid_enter()
-        self._recompute_rates()
-        self._arm_timer()
+        self._solver.start(key, route, nbytes, ev)
         return ev
 
     def abort_flow(self, key) -> bool:
         """Remove one fluid flow, releasing its share on every link."""
-        flow = self._flows.get(key)
-        if flow is None:
-            return False
-        self._advance()
-        del self._flows[key]
-        for link in flow.route:
-            link.fluid_exit()
-            link.flows_aborted += 1
-        self._recompute_rates()
-        self._arm_timer()
-        return True
-
-    def _advance(self) -> None:
-        now = self.sim.now
-        elapsed = now - self._last_advance
-        if elapsed > 0 and self._flows:
-            for flow in self._flows.values():
-                flow.remaining -= flow.rate * elapsed
-        self._last_advance = now
-
-    def _recompute_rates(self) -> None:
-        for flow in self._flows.values():
-            flow.rate = min(
-                link.bytes_per_us / link.fluid_flows for link in flow.route
-            )
-
-    def _arm_timer(self) -> None:
-        self._flow_gen += 1
-        flows = self._flows
-        if not flows:
-            return
-        delay = min(max(0.0, f.remaining) / f.rate for f in flows.values())
-        if delay <= 0:
-            self._finish_due()
-            return
-        gen = self._flow_gen
-        self.sim.timeout(delay).add_callback(
-            lambda ev, g=gen: g == self._flow_gen and self._finish_due()
-        )
-
-    def _finish_due(self) -> None:
-        self._advance()
-        finished = [
-            f for f in self._flows.values() if f.remaining <= _EPS_BYTES
-        ]
-        for flow in finished:
-            del self._flows[flow.key]
-            for link in flow.route:
-                link.fluid_exit()
-                link.bytes_carried += flow.nbytes
-                link.flows_completed += 1
-            if not flow.ev.triggered:
-                flow.ev.succeed(None)
-        self._recompute_rates()
-        self._arm_timer()
+        return self._solver.abort(key)
 
     # -- link faults ---------------------------------------------------------
     _LINK_NAME = re.compile(
@@ -591,13 +863,10 @@ class Fabric:
         link.up = False
         link.faults += 1
         victims: list[tuple[object, Optional[float]]] = []
-        if self._flows:
-            self._advance()
-            for key, flow in list(self._flows.items()):
-                if link in flow.route:
-                    victims.append((key, max(0.0, flow.remaining)))
+        if link._fluid:
+            victims = list(self._solver.evict_crossing(link))
             for key, _ in victims:
-                self.abort_flow(key)
+                self._solver.abort(key)
         fifo_keys = []
         if link._active is not None:
             fifo_keys.append(link._active[0])
@@ -629,12 +898,12 @@ class Fabric:
 
     @property
     def active_flows(self) -> int:
-        return len(self._flows)
+        return len(self._solver.flows)
 
     @property
     def idle(self) -> bool:
         """No flow anywhere on the fabric (capacity-leak invariant)."""
-        return not self._flows and all(link.idle for link in self.links())
+        return not self._solver.flows and all(link.idle for link in self.links())
 
     def busy_links(self) -> list[Link]:
         """Links carrying or queueing traffic.  Down links are exempt:
@@ -649,12 +918,13 @@ class Fabric:
         failed to hand back a flow's share of link capacity.
         """
         problems: list[tuple[str, str]] = []
-        if self._flows:
-            keys = ", ".join(repr(getattr(k, "name", k)) for k in self._flows)
+        flows = self._solver.flows
+        if flows:
+            keys = ", ".join(repr(getattr(k, "name", k)) for k in flows)
             problems.append(
                 (
                     "capacity",
-                    f"fabric drained with {len(self._flows)} live fluid "
+                    f"fabric drained with {len(flows)} live fluid "
                     f"flow(s): {keys}",
                 )
             )
@@ -670,6 +940,31 @@ class Fabric:
                 )
             )
         return problems
+
+    def stats(self):
+        """Frozen fluid-solver snapshot (the unified ``repro.stats``
+        protocol) — solver observability for benches and workloads."""
+        from repro.stats import FabricStats
+
+        s = self._solver
+        t = s.timer
+        links = self.links()
+        return FabricStats(
+            fluid_solver=self.fluid_solver,
+            active_flows=len(s.flows),
+            peak_concurrent_flows=s.peak_flows,
+            flows_started=s.seq,
+            flows_completed=s.completed,
+            membership_updates=s.membership_updates,
+            flows_touched=s.flows_touched,
+            rate_recomputes=s.rate_recomputes,
+            timer_rearms=t.rearms,
+            timer_cancels=t.cancels,
+            timer_fires=t.fires,
+            links=len(links),
+            links_down=sum(1 for link in links if not link.up),
+            idle=self.idle,
+        )
 
     def utilization(self, window_us: Optional[float] = None) -> dict[str, float]:
         """Per-link busy fraction over the trailing sliding window.

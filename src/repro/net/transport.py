@@ -239,6 +239,9 @@ class TransportStats:
     parked_now: int = 0
     lost_by_reason: dict[str, int] = field(default_factory=dict)
     link_utilization: dict[str, float] = field(default_factory=dict)
+    #: ``FabricStats`` of the attached fabric — fluid-solver counters
+    #: plus the capacity-leak invariant (None when fabric-less).
+    fabric: Optional[object] = None
 
     @property
     def max_link_utilization(self) -> float:
@@ -365,6 +368,7 @@ class Transport:
                 if self.fabric is not None
                 else {}
             ),
+            fabric=self.fabric.stats() if self.fabric is not None else None,
         )
 
     # -- the send paths -----------------------------------------------------

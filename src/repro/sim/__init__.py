@@ -24,6 +24,7 @@ from repro.sim.engine import (
     Simulator,
     Ticker,
     Timeout,
+    TimerHandle,
 )
 from repro.sim.resources import Resource, Store
 from repro.sim.sanitize import (
@@ -58,6 +59,7 @@ __all__ = [
     "Store",
     "Ticker",
     "Timeout",
+    "TimerHandle",
     "UnbalancedGrantError",
     "UnsettledWaitersError",
     "sanitize_from_env",

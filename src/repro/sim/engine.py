@@ -50,6 +50,7 @@ __all__ = [
     "Simulator",
     "Ticker",
     "Timeout",
+    "TimerHandle",
 ]
 
 #: Sentinel distinguishing "no value yet" from a legitimate ``None`` value.
@@ -102,6 +103,13 @@ class Event:
     """
 
     __slots__ = ("sim", "_value", "_exc", "callbacks", "_name")
+
+    #: Timer-queue tombstone flag.  Only :class:`TimerHandle` shots are
+    #: ever cancelled, but the timer queues check ``entry._dead`` on
+    #: every head they expose, so the flag lives here as a class
+    #: attribute: a cheap constant read for the overwhelming majority
+    #: of events that can never be cancelled.
+    _dead = False
 
     def __init__(self, sim: "Simulator", name: LazyName = ""):
         self.sim = sim
@@ -318,6 +326,124 @@ class Ticker(Event):
             else:
                 sim._seq += 1
                 sim._queue.push(when, sim._seq, self)
+
+
+class _TimerShot:
+    """One queued occurrence of a :class:`TimerHandle`.
+
+    A fresh shot is pushed per (re-)arm; cancelling flags the shot dead
+    so the timer queues can drop it — physically when it is the exposed
+    head (keeping ``min_when`` honest), lazily on contact otherwise.
+    """
+
+    __slots__ = ("handle", "_dead")
+
+    def __init__(self, handle: "TimerHandle"):
+        self.handle = handle
+        self._dead = False
+
+    @property
+    def name(self) -> str:
+        return self.handle.name
+
+    def _process_callbacks(self) -> None:
+        # A cancelled shot can still be drained from the zero-delay FIFO
+        # (cancellation there is flag-only); it must be a no-op.
+        if not self._dead:
+            self.handle._fire()
+
+
+class TimerHandle:
+    """A cancellable, re-armable absolute-time timer.
+
+    ``schedule(when)`` arms ``action(handle)`` to run at ``when`` (µs,
+    absolute), replacing any previous arm; ``cancel()`` disarms.  Unlike
+    the timeout-per-rearm pattern — which strands a dead, generation-
+    guarded entry in the timer queue on every change — a handle keeps at
+    most one live queue entry and tells the queue to drop the old one,
+    so high-churn re-armers (the fabric's next-completion timer) leave
+    no garbage behind: after the final cancel the timer queue really is
+    empty.
+
+    ``schedule`` at the already-armed time is a no-op that consumes no
+    sequence number, so callers may re-assert their target after every
+    update without perturbing the schedule — this is what keeps whole-
+    simulation schedules byte-identical across fluid-solver choices.
+    """
+
+    __slots__ = (
+        "sim", "action", "when", "_shot", "_queued", "_name",
+        "fires", "rearms", "cancels",
+    )
+
+    def __init__(
+        self,
+        sim: "Simulator",
+        action: Callable[["TimerHandle"], None],
+        name: LazyName = "",
+    ):
+        self.sim = sim
+        self.action = action
+        self._name = name
+        #: Armed target time (``None`` while disarmed).
+        self.when: Optional[float] = None
+        self._shot: Optional[_TimerShot] = None
+        self._queued = False
+        #: Observability counters (surfaced by ``FabricStats``).
+        self.fires = 0
+        self.rearms = 0
+        self.cancels = 0
+
+    @property
+    def name(self) -> str:
+        n = self._name
+        if not n:
+            return "timer"
+        if not isinstance(n, str):
+            n = self._name = n()
+        return n
+
+    @property
+    def armed(self) -> bool:
+        return self._shot is not None
+
+    def schedule(self, when: float) -> None:
+        """Arm (or re-arm) the timer to fire at absolute time ``when``."""
+        if self._shot is not None:
+            if when == self.when:
+                return
+            self._discard()
+        self.rearms += 1
+        shot = self._shot = _TimerShot(self)
+        self.when = when
+        sim = self.sim
+        if when <= sim._now:
+            self._queued = False
+            sim._immediate.append(shot)
+        else:
+            self._queued = True
+            sim._seq += 1
+            sim._queue.push(when, sim._seq, shot)
+
+    def cancel(self) -> None:
+        """Disarm; a no-op when not armed."""
+        if self._shot is not None:
+            self._discard()
+            self.cancels += 1
+
+    def _discard(self) -> None:
+        shot = self._shot
+        shot._dead = True
+        if self._queued:
+            self.sim._queue.discard(self.when, shot)
+        self._shot = None
+        self.when = None
+
+    def _fire(self) -> None:
+        self._shot = None
+        self.when = None
+        self.fires += 1
+        self.action(self)
 
 
 class AllOf(Event):
@@ -614,14 +740,27 @@ class HeapTimerQueue:
 
     Both implementations expose the same surface: ``push(when, seq,
     event)``, ``pop() -> (when, seq, event)`` in exact ``(when, seq)``
-    order, ``min_when`` (``inf`` when empty), and ``len``.
+    order, ``discard(when, event)`` for cancelled :class:`TimerHandle`
+    shots, ``min_when`` (``inf`` when empty), and ``len``.
+
+    ``len``/``_len`` count **live** entries only.  Cancelled entries are
+    tombstones (``event._dead``): removed physically whenever they reach
+    the root — the exposed head is always live, so ``min_when`` always
+    names the earliest live entry (the drain loop orders the timer queue
+    against the zero-delay FIFO with it) — and skipped on contact
+    otherwise.
     """
 
-    __slots__ = ("_heap", "_len", "min_when")
+    __slots__ = ("_heap", "_len", "_tombs", "min_when")
 
     def __init__(self) -> None:
         self._heap: list[tuple[float, int, Any]] = []
         self._len = 0
+        #: Physically-present cancelled entries.  All tombstone sweeps
+        #: are gated on this, so queues that never see a ``discard``
+        #: (and property tests pushing raw payloads without a ``_dead``
+        #: attribute) never pay for — or even touch — the flag.
+        self._tombs = 0
         #: Time of the earliest entry; ``inf`` when empty.  An attribute
         #: rather than a method: the drain loop reads it per iteration.
         self.min_when = _INF
@@ -636,11 +775,33 @@ class HeapTimerQueue:
             self.min_when = when
 
     def pop(self) -> tuple[float, int, Any]:
-        entry = heapq.heappop(self._heap)
-        self._len -= 1
         heap = self._heap
+        entry = heapq.heappop(heap)
+        self._len -= 1
+        if self._tombs:
+            while heap and heap[0][2]._dead:
+                heapq.heappop(heap)
+                self._tombs -= 1
         self.min_when = heap[0][0] if heap else _INF
         return entry
+
+    def discard(self, when: float, event: Any) -> None:
+        """Logically remove a cancelled entry (``event._dead`` already
+        set by the caller).  The root is removed physically — together
+        with any tombstones it was shadowing — so ``min_when`` stays
+        honest; a non-root entry is already covered by the live root
+        and is dropped lazily when a pop reaches it."""
+        self._len -= 1
+        heap = self._heap
+        if heap and heap[0][2] is event:
+            heapq.heappop(heap)
+            if self._tombs:
+                while heap and heap[0][2]._dead:
+                    heapq.heappop(heap)
+                    self._tombs -= 1
+            self.min_when = heap[0][0] if heap else _INF
+        else:
+            self._tombs += 1
 
 
 class CalendarTimerQueue:
@@ -680,7 +841,7 @@ class CalendarTimerQueue:
     __slots__ = (
         "_width", "_inv", "_n_buckets", "_min_width", "_max_width",
         "_buckets", "_bucket_heap", "_current", "_current_idx",
-        "_overflow", "_horizon", "_len", "min_when", "_free",
+        "_overflow", "_horizon", "_len", "_tombs", "min_when", "_free",
     )
 
     #: A bucket loaded with more entries than this shrinks the width.
@@ -711,6 +872,8 @@ class CalendarTimerQueue:
         #: the wheel window to the earliest entry — self-initializing.
         self._horizon = 0.0
         self._len = 0
+        #: Physically-present cancelled entries (see HeapTimerQueue).
+        self._tombs = 0
         self.min_when = _INF
         #: Recycled (drained) bucket lists.  Bucket churn without a
         #: freelist creates/destroys thousands of young container
@@ -762,16 +925,85 @@ class CalendarTimerQueue:
             cur = self._current
         entry = heapq.heappop(cur)
         self._len -= 1
+        self._settle()
+        return entry
+
+    def discard(self, when: float, event: Any) -> None:
+        """Logically remove a cancelled entry (``event._dead`` already
+        set by the caller).  The exposed head of the current bucket is
+        removed physically — ``min_when`` must always name the earliest
+        *live* entry, because the drain loop orders the timer queue
+        against the zero-delay FIFO with it — and any other entry is
+        dropped lazily when a pop or bucket load reaches it."""
+        self._len -= 1
+        cur = self._current
+        if cur and cur[0][2] is event:
+            heapq.heappop(cur)
+            if when == self.min_when:
+                self._settle()
+            # else: a push landed below the loaded bucket, so the global
+            # minimum lives elsewhere and is unaffected by this removal.
+            return
+        self._tombs += 1
+        if self._len == 0:
+            self._clear_garbage()
+        elif when == self.min_when:
+            # The earliest live entry may have been exactly this one,
+            # sitting outside the loaded bucket (pre-first-pop overflow,
+            # or a push below the loaded window): recompute the minimum
+            # over the surviving live population.
+            self._refresh_min()
+
+    # -- internals -----------------------------------------------------
+    def _settle(self) -> None:
+        """Re-establish the live-head invariant after the head of the
+        current bucket was removed (popped or discarded)."""
+        cur = self._current
+        if self._tombs:
+            while cur and cur[0][2]._dead:
+                heapq.heappop(cur)
+                self._tombs -= 1
         if cur:
             self.min_when = cur[0][0]
-        elif self._buckets or self._overflow:
+        elif self._len:
             self._free.append(cur)
             self._load_next()
         else:
-            self.min_when = _INF
-        return entry
+            self._clear_garbage()
 
-    # -- internals -----------------------------------------------------
+    def _clear_garbage(self) -> None:
+        """No live entries remain: drop cancelled-entry tombstones
+        wholesale so an 'empty' queue is physically empty."""
+        free = self._free
+        cur = self._current
+        if cur:
+            cur.clear()
+        for b in self._buckets.values():
+            b.clear()
+            free.append(b)
+        self._buckets.clear()
+        self._bucket_heap.clear()
+        self._overflow.clear()
+        self._tombs = 0
+        self.min_when = _INF
+
+    def _refresh_min(self) -> None:
+        """Exact minimum over live entries (rare: only when a discard
+        outside the loaded bucket was tied with ``min_when``)."""
+        best = _INF
+        cur = self._current
+        if cur:
+            # The current head is live and bounds everything in ``cur``.
+            best = cur[0][0]
+        for b in self._buckets.values():
+            for e in b:
+                if e[0] < best and not e[2]._dead:
+                    best = e[0]
+        for e in self._overflow:
+            if e[0] < best and not e[2]._dead:
+                best = e[0]
+        self.min_when = best
+
     def _reload(self) -> None:
         """Unload the current bucket (if any) and load the minimum one."""
         cur = self._current
@@ -796,19 +1028,28 @@ class CalendarTimerQueue:
                 self._rotate()
             idx = heapq.heappop(self._bucket_heap)
             bucket = self._buckets.pop(idx)
-            if len(bucket) <= self._RESIZE_SPLIT or self._width <= self._min_width:
+            if len(bucket) > self._RESIZE_SPLIT and self._width > self._min_width:
+                # Bucket resize on load: too many entries share one
+                # bucket — shrink the width so this bucket splits down
+                # to roughly half the threshold, in ONE re-bucketing
+                # pass (repeated halving would re-bucket the whole
+                # population per step).
+                factor = 2
+                target = len(bucket) // (self._RESIZE_SPLIT // 2)
+                while factor < target:
+                    factor <<= 1
+                self._rebucket(bucket, self._width / factor)
+                continue
+            if len(bucket) > 1:
+                heapq.heapify(bucket)
+            if self._tombs:
+                while bucket and bucket[0][2]._dead:
+                    heapq.heappop(bucket)
+                    self._tombs -= 1
+            if bucket:
                 break
-            # Bucket resize on load: too many entries share one bucket —
-            # shrink the width so this bucket splits down to roughly
-            # half the threshold, in ONE re-bucketing pass (repeated
-            # halving would re-bucket the whole population per step).
-            factor = 2
-            target = len(bucket) // (self._RESIZE_SPLIT // 2)
-            while factor < target:
-                factor <<= 1
-            self._rebucket(bucket, self._width / factor)
-        if len(bucket) > 1:
-            heapq.heapify(bucket)
+            # Every entry was a cancelled timer shot: keep looking.
+            self._free.append(bucket)
         self._current = bucket
         self._current_idx = idx
         self.min_when = bucket[0][0]
@@ -1067,6 +1308,13 @@ class Simulator:
         — or every ``next_delay`` µs flat when given a plain number
         (allocation-free per tick; see :class:`Ticker`)."""
         return Ticker(self, next_delay, action, name=name, start_delay=start_delay)
+
+    def timer_handle(
+        self, action: Callable[[TimerHandle], None], name: LazyName = ""
+    ) -> TimerHandle:
+        """A cancellable, re-armable absolute-time timer (starts
+        disarmed; see :class:`TimerHandle`)."""
+        return TimerHandle(self, action, name=name)
 
     def process(
         self, generator: Generator, name: LazyName = "", daemon: bool = False

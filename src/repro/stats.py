@@ -29,6 +29,7 @@ from typing import Any, Optional
 
 __all__ = [
     "ClientStats",
+    "FabricStats",
     "RecoveryStats",
     "SchedulerStats",
     "ServeStats",
@@ -70,7 +71,9 @@ class SimStats(Stats):
 
     now_us: float
     events_processed: int
-    #: Future (timed) events currently queued, cancelled ones included.
+    #: *Live* future (timed) events currently queued — cancelled
+    #: ``TimerHandle`` shots are excluded the instant they are
+    #: cancelled, so a drained queue reports 0 even mid-run.
     pending_timers: int
     #: Zero-delay events waiting in the immediate FIFO.
     immediate_depth: int
@@ -94,6 +97,47 @@ class SchedulerStats(Stats):
     deadline_evictions: int
     stale_completions: int
     rejected_draining: int
+
+
+@dataclass(frozen=True)
+class FabricStats(Stats):
+    """Fluid fair-share engine observability (``Fabric.stats()``).
+
+    The counters quantify the work the solver did — the quantities the
+    NET-F bench and the flow-scale sweep compare across engines — while
+    ``active_flows``/``idle`` carry the capacity-leak invariant benches
+    assert after fault drills.
+    """
+
+    #: Engine name: "scoped" or "dense".
+    fluid_solver: str
+    active_flows: int
+    peak_concurrent_flows: int
+    flows_started: int
+    flows_completed: int
+    #: Membership changes processed (start/abort/completion batches).
+    membership_updates: int
+    #: Flows examined across all membership changes (dense: all live
+    #: flows each time; scoped: the affected set only).
+    flows_touched: int
+    #: Per-flow min-over-route rate evaluations.
+    rate_recomputes: int
+    #: Next-finish timer traffic: re-arms vs cancels vs actual fires.
+    timer_rearms: int
+    timer_cancels: int
+    timer_fires: int
+    links: int
+    links_down: int
+    #: Every flow gone and every link idle (the leak invariant).
+    idle: bool
+
+    @property
+    def flows_touched_per_update(self) -> float:
+        """Mean flows examined per membership change — the O(F) vs
+        O(affected) headline number."""
+        if not self.membership_updates:
+            return 0.0
+        return self.flows_touched / self.membership_updates
 
 
 @dataclass(frozen=True)

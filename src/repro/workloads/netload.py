@@ -23,6 +23,7 @@ the arguments.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
 from typing import Generator, Optional
 
@@ -36,7 +37,12 @@ from repro.resilience import FaultInjector, FaultSchedule, RecoveryManager
 from repro.xla.computation import CompiledFunction
 from repro.xla.shapes import TensorSpec
 
-__all__ = ["NetCongestionResult", "run_net_congestion"]
+__all__ = [
+    "FlowFleetResult",
+    "NetCongestionResult",
+    "run_flow_fleet",
+    "run_net_congestion",
+]
 
 
 @dataclass
@@ -74,6 +80,8 @@ class NetCongestionResult:
     #: LINK_DOWN faults the recovery manager delivered.
     link_faults: int = 0
     per_sender_bytes: list[int] = field(default_factory=list)
+    #: ``FabricStats`` snapshot — the fluid solver's work counters.
+    fabric: Optional[object] = None
     system_handle: Optional[PathwaysSystem] = None
 
 
@@ -313,7 +321,7 @@ def run_net_congestion(
         probe_failures=probe_stats["failures"],
         messages_lost=net.messages_lost,
         retransmits=net.retransmits,
-        fabric_idle=system.cluster.fabric.idle,
+        fabric_idle=net.fabric.idle,
         nic_slots_leaked=nic_slots_leaked,
         crash_injected=crash,
         spine_paths=spine_paths,
@@ -322,5 +330,122 @@ def run_net_congestion(
         lost_by_reason=net.lost_by_reason,
         link_faults=recovery.stats().link_faults,
         per_sender_bytes=[s["bytes"] for s in sender_stats],
+        fabric=net.fabric,
         system_handle=system,
+    )
+
+
+# ---------------------------------------------------------------------------
+# Flow-scale fabric stress (the NET-F scenario family)
+# ---------------------------------------------------------------------------
+
+@dataclass
+class FlowFleetResult:
+    """Outcome of one flow-fleet run."""
+
+    n_flows: int
+    #: Which fluid engine ran the fabric ("scoped" or "dense").
+    fluid_solver: str
+    #: Max flows simultaneously live on the fabric (from ``FabricStats``).
+    peak_concurrent_flows: int
+    elapsed_us: float
+    events: int
+    #: Wall-clock of the simulation run itself (setup excluded).
+    wall_s: float
+    setup_wall_s: float
+    #: Per-flow simulated delivery time, in send (flow-index) order —
+    #: the byte-identity witness the NET-F bench compares across
+    #: solvers with exact ``==``.
+    deliveries: list[float] = field(default_factory=list)
+    #: ``FabricStats`` snapshot (solver work counters + leak invariant).
+    fabric: Optional[object] = None
+
+
+def _fleet_flow(
+    system: PathwaysSystem, i: int, src, dst, nbytes: int,
+    delay_us: float, deliveries: list[float],
+) -> Generator:
+    sim = system.sim
+    if delay_us > 0:
+        yield sim.timeout(delay_us)
+    yield system.transport.send(src, dst, nbytes)
+    deliveries[i] = sim.now
+
+
+def run_flow_fleet(
+    n_flows: int = 2600,
+    hosts: int = 64,
+    devices_per_host: int = 1,
+    flow_bytes: int = 1 << 20,
+    arrival_window_us: float = 1_000.0,
+    fluid_solver: Optional[str] = None,
+    config: SystemConfig = DEFAULT_CONFIG,
+    debug_names: bool = False,
+) -> FlowFleetResult:
+    """Flow-scale fabric stress: thousands of short concurrent flows.
+
+    One island of ``hosts`` hosts, paired off into ``hosts // 2``
+    disjoint (sender, receiver) NIC pairs; ``n_flows`` transfers of
+    ``flow_bytes`` each arrive open-loop inside ``arrival_window_us``
+    (a serving-style arrival burst, spread by a fixed multiplicative
+    LCG — deterministic, no RNG state).  The window is much shorter
+    than the drain time, so concurrency climbs to thousands of
+    simultaneously-live fluid flows — the regime where the dense
+    engine's O(all-flows)-per-change updates go superlinear while the
+    scoped engine's affected set stays the per-pair flow count.
+
+    Every membership change only moves rates on one NIC pair, so this
+    is the best case for scoped *and* the honest one: real fleets
+    spread traffic across many endpoint pairs rather than converging
+    on one bottleneck.  ``deliveries`` carries the exact per-flow
+    delivery times for cross-solver equality checks.
+    """
+    if hosts < 2 or hosts % 2:
+        raise ValueError(f"hosts must be even and >= 2, got {hosts}")
+    config = config.with_overrides(
+        net_contention=True,
+        net_link_sharing="fair",
+        **({"fluid_solver": fluid_solver} if fluid_solver else {}),
+    )
+    t0 = time.perf_counter()
+    system = PathwaysSystem.build(
+        ClusterSpec(islands=((hosts, devices_per_host),), name="flowfleet"),
+        config=config,
+        debug_names=debug_names,
+    )
+    sim = system.sim
+    island_hosts = system.cluster.islands[0].hosts
+    n_pairs = hosts // 2
+    deliveries = [0.0] * n_flows
+    procs = []
+    for i in range(n_flows):
+        pair = i % n_pairs
+        # Knuth multiplicative hash: a fixed, seedless spread of
+        # arrival offsets across the window (no RNG object to thread).
+        offset = ((i * 2654435761 + 12345) & 0xFFFFFFFF) / 2**32
+        procs.append(
+            sim.process(
+                _fleet_flow(
+                    system, i,
+                    island_hosts[2 * pair], island_hosts[2 * pair + 1],
+                    flow_bytes, offset * arrival_window_us, deliveries,
+                ),
+                name=f"fleet_flow{i}" if debug_names else "",
+            )
+        )
+    done = sim.all_of(procs)
+    t1 = time.perf_counter()
+    sim.run_until_triggered(done)
+    wall = time.perf_counter() - t1
+    fabric = system.transport.stats().fabric
+    return FlowFleetResult(
+        n_flows=n_flows,
+        fluid_solver=fabric.fluid_solver,
+        peak_concurrent_flows=fabric.peak_concurrent_flows,
+        elapsed_us=sim.now,
+        events=sim.stats().events_processed,
+        wall_s=wall,
+        setup_wall_s=t1 - t0,
+        deliveries=deliveries,
+        fabric=fabric,
     )

@@ -1,4 +1,4 @@
-"""RPR002 fixture: hash-set order reaching the schedule (3 hits)."""
+"""RPR002 fixture: hash-set order reaching the schedule (4 hits)."""
 
 
 class Registry:
@@ -14,3 +14,16 @@ class Registry:
 
     def by_address(self, procs):
         return sorted(procs, key=id)  # id() differs between runs
+
+
+class FluidLink:
+    """The per-link flow-registry shape of the same bug: eviction
+    (take-down) walks the crossing set, and eviction order decides
+    abort/reroute event order downstream."""
+
+    def __init__(self):
+        self.crossing = set()
+
+    def evict_all(self, fabric):
+        for flow in self.crossing:  # hash order feeds the schedule
+            fabric.abort_flow(flow.key)

@@ -17,3 +17,15 @@ class Registry:
 
     def by_name(self, procs):
         return sorted(procs, key=lambda p: p.name)
+
+
+class FluidLink:
+    """Order-safe per-link flow registry: insertion-ordered dict-as-set,
+    so eviction order is start order, identical every run."""
+
+    def __init__(self):
+        self.crossing = {}
+
+    def evict_all(self, fabric):
+        for flow in list(self.crossing):
+            fabric.abort_flow(flow.key)

@@ -24,7 +24,7 @@ FIXTURES = Path(__file__).parent / "analysis_fixtures"
 #: fixture file -> (expected code, expected hit count).
 BAD_FIXTURES = {
     "rpr001_bad.py": ("RPR001", 3),
-    "rpr002_bad.py": ("RPR002", 3),
+    "rpr002_bad.py": ("RPR002", 4),
     "rpr003_bad.py": ("RPR003", 4),
     "rpr004_bad.py": ("RPR004", 2),
     "rpr005_bad.py": ("RPR005", 2),

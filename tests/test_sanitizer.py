@@ -167,7 +167,7 @@ class TestFabricAndTransportInvariants:
         sim = Simulator(sanitize=True)
         fabric = Fabric(sim, SystemConfig())
         link = fabric.nic_tx(SimpleNamespace(host_id=0))
-        link.fluid_enter()  # a flow's share never handed back
+        link.fluid_enter(object())  # a flow's share never handed back
         with pytest.raises(LeakedCapacityError, match="nic_tx"):
             sim.run()
 

@@ -123,6 +123,68 @@ def test_interleaved_steady_state_churn():
         ref.push(when, seq, seq)
 
 
+class _Shot:
+    """Minimal cancellable entry (the TimerHandle-shot contract)."""
+
+    __slots__ = ("tag", "_dead")
+
+    def __init__(self, tag):
+        self.tag = tag
+        self._dead = False
+
+
+#: Push a `when`, pop (``None``), or discard a random live entry.
+DISCARD_OPS = st.lists(
+    st.one_of(WHENS, st.none(), st.tuples(st.just("x"), st.integers(0, 40))),
+    min_size=1,
+    max_size=150,
+)
+
+
+@given(ops=DISCARD_OPS)
+@settings(max_examples=200, deadline=None)
+def test_discard_matches_heap_reference(ops):
+    """Random push/pop/discard streams: identical pop streams, live
+    counts, and ``min_when`` on both cores.  ``min_when`` must always
+    name the earliest *live* entry — the drain loop orders queue events
+    against zero-delay immediates with it, so a stale value (early or
+    late) after a cancellation would reorder real schedules."""
+    cal, heap = CalendarTimerQueue(), HeapTimerQueue()
+    seq = 0
+    live = []  # (when, cal entry, heap entry), insertion order
+
+    def pop_both():
+        a, b = cal.pop(), heap.pop()
+        assert (a[0], a[1], a[2].tag) == (b[0], b[1], b[2].tag)
+        for i, (_, sa, _) in enumerate(live):
+            if sa is a[2]:
+                del live[i]
+                break
+
+    for op in ops:
+        if op is None:
+            if len(heap):
+                pop_both()
+        elif isinstance(op, tuple):
+            if live:
+                when, sa, sb = live.pop(op[1] % len(live))
+                sa._dead = sb._dead = True
+                cal.discard(when, sa)
+                heap.discard(when, sb)
+        else:
+            seq += 1
+            sa, sb = _Shot(seq), _Shot(seq)
+            live.append((op, sa, sb))
+            cal.push(op, seq, sa)
+            heap.push(op, seq, sb)
+        assert len(cal) == len(heap) == len(live)
+        assert cal.min_when == heap.min_when
+    while len(heap):
+        pop_both()
+    assert len(cal) == 0 and not live
+    assert cal.min_when == heap.min_when == float("inf")
+
+
 class TestTimerQueueSelection:
     def test_default_is_calendar(self):
         assert Simulator().timer_queue == "calendar"
