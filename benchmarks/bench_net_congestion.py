@@ -27,7 +27,9 @@ sweep and shrinks the islands.
 
 from __future__ import annotations
 
-from repro.bench.harness import Table, full_asserts, smoke_mode, smoke_trim
+from repro.bench.harness import (
+    Table, full_asserts, smoke_mode, smoke_trim, soft_timing,
+)
 from repro.config import DEFAULT_CONFIG
 from repro.workloads.netload import run_flow_fleet, run_net_congestion
 
@@ -292,13 +294,18 @@ def test_flow_scale_wall_clock_scoped_vs_dense():
     assert gap_last >= 0.8 * gap_first, (gap_first, gap_last)
     # Wall-clock: a conservative floor in smoke (CI machines are
     # noisy); the full run demands the widening superlinear gap.
-    assert last[1].wall_s / last[2].wall_s >= 1.5, (last[1].wall_s, last[2].wall_s)
-    if full_asserts():
-        assert last[1].wall_s / last[2].wall_s >= 3.0
-        assert (
-            last[1].wall_s / last[2].wall_s
-            >= first[1].wall_s / first[2].wall_s
+    # REPRO_BENCH_SOFT_TIMING=1 demotes these ratios to reported-only —
+    # the exact-counter gates above still fail on real regressions.
+    if not soft_timing():
+        assert last[1].wall_s / last[2].wall_s >= 1.5, (
+            last[1].wall_s, last[2].wall_s,
         )
+        if full_asserts():
+            assert last[1].wall_s / last[2].wall_s >= 3.0
+            assert (
+                last[1].wall_s / last[2].wall_s
+                >= first[1].wall_s / first[2].wall_s
+            )
 
 
 def test_fault_drills_match_under_both_solvers():

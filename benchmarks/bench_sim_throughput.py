@@ -24,7 +24,7 @@ baseline (``benchmarks/baselines/sim_throughput_smoke.json``) via
 
 from __future__ import annotations
 
-from repro.bench.harness import Table, geometric_range, smoke_mode
+from repro.bench.harness import Table, geometric_range, smoke_mode, soft_timing
 from repro.bench.sweep import SweepTask, run_sweep, sweep_jobs
 from repro.bench.wallclock import WallclockRecorder
 
@@ -184,9 +184,19 @@ def test_sim_throughput():
     # have already been asserted by run_sweep.
     for p in rec.points:
         assert p.events > 0 and p.wall_s > 0 and p.sim_us > 0, p
-    assert fleet.extra["speedup"] >= FLEET_MIN_SPEEDUP, fleet.extra
-    assert netf.extra["speedup"] >= NET_FLOW_MIN_SPEEDUP, netf.extra
+    # Deterministic complexity gate: exact work counters, machine-
+    # noise-immune — the scoped engine touches a small fraction of the
+    # fleet per membership change.
+    assert (
+        netf.extra["scoped_touched_per_update"] * 8
+        <= netf.extra["dense_touched_per_update"]
+    ), netf.extra
     assert netf.extra["peak_flows"] >= 2000, netf.extra
+    # Wall-clock ratio floors: sharp on dedicated hardware; noisy
+    # runners demote them to reported-only via REPRO_BENCH_SOFT_TIMING.
+    if not soft_timing():
+        assert fleet.extra["speedup"] >= FLEET_MIN_SPEEDUP, fleet.extra
+        assert netf.extra["speedup"] >= NET_FLOW_MIN_SPEEDUP, netf.extra
     # Very conservative floor — catches only catastrophic engine
     # regressions; the CI baseline comparison is the sharp check.
     assert rec.aggregate_events_per_sec > 10_000, rec.aggregate_events_per_sec

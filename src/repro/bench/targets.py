@@ -171,7 +171,15 @@ def net_flow_scale(
     shipping engine); the dense reference and the ratio land in
     ``extra``.  ``identical_deliveries`` is the byte-identity invariant
     — exact float equality of every per-flow delivery time.
+
+    The primary complexity gate is deterministic: the scoped engine's
+    flows-touched-per-update counter must be a small fraction of the
+    dense reference's (exact event counts, immune to runner noise).
+    The wall-clock ratio is asserted too, but a noisy runner can demote
+    it to reported-only with ``REPRO_BENCH_SOFT_TIMING=1`` (see
+    :func:`repro.bench.harness.soft_timing`).
     """
+    from repro.bench.harness import soft_timing
     from repro.workloads.netload import run_flow_fleet
 
     dense = run_flow_fleet(
@@ -183,14 +191,22 @@ def net_flow_scale(
         arrival_window_us=arrival_window_us, fluid_solver="scoped",
     )
     speedup = dense.wall_s / scoped.wall_s if scoped.wall_s else 0.0
+    scoped_touched = scoped.fabric.flows_touched_per_update
+    touched_gap = (
+        dense.fabric.flows_touched_per_update / scoped_touched
+        if scoped_touched else 0.0
+    )
     checks = {
         "identical_deliveries": scoped.deliveries == dense.deliveries,
         f"peak_flows_>={min_peak_flows}": (
             scoped.peak_concurrent_flows >= min_peak_flows
         ),
         "fabric_idle": scoped.fabric.idle and dense.fabric.idle,
+        # The affected set is a small fraction of the live fleet
+        # (~hosts/2 smaller at this shape, measured ~32x).
+        "scoped_touches_8x_fewer_flows": touched_gap >= 8.0,
     }
-    if min_speedup is not None:
+    if min_speedup is not None and not soft_timing():
         checks[f"scoped_speedup_>={min_speedup:g}x"] = speedup >= min_speedup
     return {
         "events": scoped.events,
@@ -201,10 +217,9 @@ def net_flow_scale(
             "dense_wall_s": dense.wall_s,
             "scoped_wall_s": scoped.wall_s,
             "speedup": speedup,
-            "scoped_touched_per_update": (
-                scoped.fabric.flows_touched_per_update
-            ),
+            "scoped_touched_per_update": scoped_touched,
             "dense_touched_per_update": dense.fabric.flows_touched_per_update,
+            "touched_gap": touched_gap,
         },
         "checks": checks,
     }
@@ -271,6 +286,7 @@ def fleet_speedup(
     is the *calendar* measurement (the shipping engine); the heap
     reference and the speedup land in ``extra``.
     """
+    from repro.bench.harness import soft_timing
     from repro.workloads.fleet import run_fleet_telemetry
 
     heap = run_fleet_telemetry(
@@ -285,7 +301,7 @@ def fleet_speedup(
         cal.events_per_sec / heap.events_per_sec if heap.events_per_sec else 0.0
     )
     checks = {"same_schedule": cal.repeat_events == heap.repeat_events}
-    if min_speedup is not None:
+    if min_speedup is not None and not soft_timing():
         checks[f"calendar_speedup_>={min_speedup:g}x"] = speedup >= min_speedup
     return {
         "events": cal.sim_events,

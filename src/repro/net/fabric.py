@@ -650,9 +650,11 @@ class Fabric:
         self._spines: list[Link] = []
         # The fluid fair-share engine (explicit config beats env beats
         # the scoped default — the timer-queue registry precedent).
-        solver = config.fluid_solver or os.environ.get(
-            "REPRO_NET_FLUID_SOLVER", "scoped"
-        )
+        # ``is None`` keeps the precedence exact: an explicit empty
+        # string is an unknown solver, not a fall-through to the env.
+        solver = config.fluid_solver
+        if solver is None:
+            solver = os.environ.get("REPRO_NET_FLUID_SOLVER", "scoped")
         try:
             solver_cls = _FLUID_SOLVERS[solver]
         except KeyError:

@@ -924,6 +924,9 @@ class CalendarTimerQueue:
             self._reload()
             cur = self._current
         entry = heapq.heappop(cur)
+        # Gated on ``_tombs`` so payloads without a ``_dead`` attribute
+        # (queues that never saw a discard) are never touched.
+        assert not (self._tombs and entry[2]._dead), "popped a dead entry"
         self._len -= 1
         self._settle()
         return entry
@@ -939,8 +942,25 @@ class CalendarTimerQueue:
         cur = self._current
         if cur and cur[0][2] is event:
             heapq.heappop(cur)
+            # The removal can expose tombstones from earlier non-head
+            # discards: sweep them unconditionally — pop() trusts the
+            # current head to be live, and _refresh_min() uses it as
+            # its scan bound, so a dead head would poison both.
+            if self._tombs:
+                while cur and cur[0][2]._dead:
+                    heapq.heappop(cur)
+                    self._tombs -= 1
             if when == self.min_when:
                 self._settle()
+            elif self._len == 0:
+                self._clear_garbage()
+            elif not cur:
+                # The loaded bucket drained, but the global minimum
+                # lives below it (a push landed under the loaded
+                # window) and is unaffected; load its bucket so the
+                # live-head invariant holds for the next pop.
+                self._free.append(cur)
+                self._load_next()
             # else: a push landed below the loaded bucket, so the global
             # minimum lives elsewhere and is unaffected by this removal.
             return
@@ -992,6 +1012,13 @@ class CalendarTimerQueue:
         outside the loaded bucket was tied with ``min_when``)."""
         best = _INF
         cur = self._current
+        if self._tombs:
+            # Defensively re-establish the live-head invariant rather
+            # than trusting it: a dead head used as the bound below
+            # would hide the true minimum behind a stale-early value.
+            while cur and cur[0][2]._dead:
+                heapq.heappop(cur)
+                self._tombs -= 1
         if cur:
             # The current head is live and bounds everything in ``cur``.
             best = cur[0][0]

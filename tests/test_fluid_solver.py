@@ -250,6 +250,13 @@ class TestSolverSelection:
         with pytest.raises(ValueError, match="scoped"):
             Fabric(Simulator(), SystemConfig(fluid_solver="quantum"))
 
+    def test_empty_string_rejected_not_defaulted(self, monkeypatch):
+        """An explicit ``fluid_solver=""`` is an unknown solver, not a
+        fall-through to the env var: only ``None`` defers."""
+        monkeypatch.setenv("REPRO_NET_FLUID_SOLVER", "dense")
+        with pytest.raises(ValueError, match="unknown fluid_solver"):
+            Fabric(Simulator(), SystemConfig(fluid_solver=""))
+
 
 class TestTimerHygiene:
     """The dead-timer-leak regression: the historical engine armed a

@@ -185,6 +185,92 @@ def test_discard_matches_heap_reference(ops):
     assert cal.min_when == heap.min_when == float("inf")
 
 
+def test_head_discard_below_min_sweeps_exposed_tombstone():
+    """Regression: discarding the loaded-bucket head while the global
+    minimum sits *below* the loaded bucket must still sweep tombstones
+    the removal exposes.  The old head path skipped the sweep when
+    ``when != min_when``, leaving a dead entry as the current head;
+    ``_refresh_min`` then used it as a live scan bound (stale-early
+    ``min_when``), a later ``pop`` returned the dead entry and
+    double-decremented the live count, and the resulting undercount
+    garbage-collected live timers — a silently dropped timeout."""
+    cal, ref = CalendarTimerQueue(), HeapTimerQueue()
+    shots = {}
+
+    def push(when, seq):
+        sa, sb = _Shot(seq), _Shot(seq)
+        shots[seq] = (when, sa, sb)
+        cal.push(when, seq, sa)
+        ref.push(when, seq, sb)
+
+    def discard(seq):
+        when, sa, sb = shots.pop(seq)
+        sa._dead = sb._dead = True
+        cal.discard(when, sa)
+        ref.discard(when, sb)
+
+    # A cluster whose first pop rotates the wheel (width 48 for this
+    # population) and loads the bucket holding 100/101/102.
+    push(100.0, 1)
+    push(101.0, 2)
+    push(102.0, 3)
+    push(90.0, 0)
+    assert cal.pop()[0] == ref.pop()[0] == 90.0
+    # Tombstone a non-head entry of the loaded bucket...
+    discard(2)
+    # ...move the global minimum below the loaded bucket...
+    push(10.0, 4)
+    assert cal.min_when == ref.min_when == 10.0
+    # ...and discard the loaded head while when (100) != min_when (10):
+    # the pop exposes the 101 tombstone as the current head.
+    discard(1)
+    assert len(cal) == len(ref) == 2
+    assert cal.min_when == ref.min_when == 10.0
+    # Discarding the minimum forces _refresh_min over the survivors; a
+    # dead current head here yielded the stale-early bound 101.0.
+    discard(4)
+    assert len(cal) == len(ref) == 1
+    assert cal.min_when == ref.min_when == 102.0
+    # The one live entry must actually be delivered.
+    got, want = cal.pop(), ref.pop()
+    assert (got[0], got[1], got[2].tag) == (want[0], want[1], want[2].tag)
+    assert (got[0], got[2]._dead) == (102.0, False)
+    assert len(cal) == len(ref) == 0
+    assert cal.min_when == ref.min_when == float("inf")
+
+
+def test_head_discard_below_min_drains_loaded_bucket():
+    """Companion regression: the same below-minimum head discard where
+    the sweep empties the loaded bucket entirely — the queue must fall
+    back to the bucket holding the true minimum, not strand it."""
+    cal, ref = CalendarTimerQueue(), HeapTimerQueue()
+    pairs = {s: (_Shot(s), _Shot(s)) for s in (0, 1, 2, 4)}
+    whens = {0: 90.0, 1: 100.0, 2: 101.0, 4: 10.0}
+    for s in (1, 2):
+        cal.push(whens[s], s, pairs[s][0])
+        ref.push(whens[s], s, pairs[s][1])
+    cal.push(whens[0], 0, pairs[0][0])
+    ref.push(whens[0], 0, pairs[0][1])
+    assert cal.pop()[0] == ref.pop()[0] == 90.0  # loads {100, 101}
+    # Tombstone 101, then drop the minimum below the loaded bucket.
+    pairs[2][0]._dead = pairs[2][1]._dead = True
+    cal.discard(101.0, pairs[2][0])
+    ref.discard(101.0, pairs[2][1])
+    cal.push(10.0, 4, pairs[4][0])
+    ref.push(10.0, 4, pairs[4][1])
+    # Head discard at when != min_when: the sweep removes the exposed
+    # 101 tombstone too, emptying the loaded bucket.
+    pairs[1][0]._dead = pairs[1][1]._dead = True
+    cal.discard(100.0, pairs[1][0])
+    ref.discard(100.0, pairs[1][1])
+    assert len(cal) == len(ref) == 1
+    assert cal.min_when == ref.min_when == 10.0
+    got, want = cal.pop(), ref.pop()
+    assert (got[0], got[1], got[2].tag) == (want[0], want[1], want[2].tag)
+    assert got[0] == 10.0 and not got[2]._dead
+    assert len(cal) == 0 and cal.min_when == float("inf")
+
+
 class TestTimerQueueSelection:
     def test_default_is_calendar(self):
         assert Simulator().timer_queue == "calendar"
