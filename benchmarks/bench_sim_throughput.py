@@ -11,6 +11,10 @@ thousands of live timers) and asserts the calendar's >=2x events/sec,
 and the NET-F point: thousands of concurrent fluid flows that pit the
 scoped incremental fair-share solver against the dense reference and
 assert the scoped >=3x wall-clock win at byte-identical schedules.
+The TRACE-OFF point pins the telemetry pay-as-you-go contract: the
+serving scenario with a *disabled* tracer attached must hold its
+events/sec within 3% of the tracer-less baseline (and its engine event
+count exactly equal — schedule neutrality).
 
 Every point is an independent :class:`~repro.bench.sweep.SweepTask`, so
 the sweep fans out across cores (``benchmarks/run.py --jobs N`` or
@@ -102,6 +106,11 @@ def _tasks() -> list[SweepTask]:
     # stack (frontend admission, continuous batching, deadline-armed
     # gangs, a replica-loss recovery) over the contended fabric.
     tasks.append(SweepTask("SERVE", 2, "repro.bench.targets:serving_slo"))
+    # TRACE-OFF: the telemetry pay-as-you-go acceptance point.  The
+    # serving scenario runs tracer-less and then with a disabled Tracer
+    # back to back in one task, asserting identical engine event counts
+    # and disabled-tracing events/sec within 3% of the bare baseline.
+    tasks.append(SweepTask("TRACE-OFF", 2, "repro.bench.targets:trace_overhead"))
     # FLEET-C: the calendar-queue acceptance point.  Both cores run
     # back to back inside one task so the speedup ratio is immune to
     # concurrent sweep neighbours; the row records the calendar core.
@@ -144,7 +153,9 @@ def test_sim_throughput():
         )
     # The Figure-5 dispatch sweep on its own (the headline ≥5× speedup
     # quantity) and the overall total including the scenario points.
-    scenario = ("CHURN-A", "NET-C", "NET-E", "NET-F", "SERVE", "FLEET-C")
+    scenario = (
+        "CHURN-A", "NET-C", "NET-E", "NET-F", "SERVE", "TRACE-OFF", "FLEET-C",
+    )
     fig5 = [p for p in rec.points if p.series not in scenario]
     fig5_wall = sum(p.wall_s for p in fig5)
     fig5_events = sum(p.events for p in fig5)
@@ -173,6 +184,12 @@ def test_sim_throughput():
         f"{netf.extra['dense_wall_s']:.2f}s ({netf.extra['speedup']:.2f}x); "
         f"flows touched/update {netf.extra['scoped_touched_per_update']:.1f} "
         f"vs {netf.extra['dense_touched_per_update']:.1f}"
+    )
+    troff = rec.series("TRACE-OFF")[0]
+    print(
+        f"TRACE-OFF: disabled tracer {troff.extra['off_events_per_sec']:,.0f} "
+        f"ev/s vs bare {troff.extra['base_events_per_sec']:,.0f} ev/s "
+        f"({troff.extra['overhead_frac']:+.1%} overhead)"
     )
 
     path = rec.write()

@@ -1,4 +1,4 @@
-"""The simulator-specific lint rules, RPR001-RPR006.
+"""The simulator-specific lint rules, RPR001-RPR007.
 
 Every rule here is derived from a bug that actually shipped in this
 repo and was found by hand:
@@ -15,7 +15,10 @@ repo and was found by hand:
 * **RPR005** — resource acquire/grant without a release on all paths
   (the NIC-slot and CPU-slot leaks fixed in PRs 3-4);
 * **RPR006** — ``stats()`` methods that don't return a frozen ``Stats``
-  dataclass (the PR-6 unified snapshot protocol).
+  dataclass (the PR-6 unified snapshot protocol);
+* **RPR007** — tracer spans opened without a guaranteed close, or span
+  labels built eagerly outside the tracer's enabled gate (the
+  ``repro.telemetry`` pay-as-you-go contract).
 """
 
 from __future__ import annotations
@@ -629,6 +632,160 @@ class StatsProtocolRule(Rule):
         return fname is not None and fname.endswith("Stats")
 
 
+# --------------------------------------------------------------------------
+# RPR007 — span hygiene (tracing must be leak-free and pay-as-you-go)
+# --------------------------------------------------------------------------
+
+#: Tracer methods that take a human-readable label as their first
+#: argument (the pay-as-you-go check applies to all of them).
+_SPAN_EMIT_METHODS = frozenset({"begin", "complete", "instant", "span"})
+
+
+def _trace_receiver(receiver: Optional[str]) -> bool:
+    """True for receivers that look like a Tracer handle: ``tr``,
+    ``tracer``, ``self.tracer``, ``sim.tracer``, ..."""
+    if receiver is None:
+        return False
+    last = receiver.split(".")[-1]
+    return last == "tr" or "trace" in last
+
+
+def _test_mentions_enabled(test: ast.AST) -> bool:
+    """True when an ``if`` test involves the tracer's enabled gate."""
+    for node in ast.walk(test):
+        if isinstance(node, ast.Attribute) and "enabled" in node.attr:
+            return True
+        if isinstance(node, ast.Name) and "enabled" in node.id:
+            return True
+    return False
+
+
+def _eager_label_construct(expr: ast.AST) -> Optional[ast.AST]:
+    """The first eagerly evaluated f-string/.format inside ``expr``.
+
+    Like RPR001's detector, but the sanctioned gate is the tracer's
+    ``enabled`` flag (``debug_names`` also passes: both mean "the slow
+    path was explicitly opted into").
+    """
+    if isinstance(expr, ast.Lambda):
+        return None
+    if isinstance(expr, ast.IfExp) and (
+        _test_mentions_enabled(expr.test) or _test_mentions_debug(expr.test)
+    ):
+        return None
+    if isinstance(expr, ast.JoinedStr) and any(
+        isinstance(v, ast.FormattedValue) for v in expr.values
+    ):
+        return expr
+    if (
+        isinstance(expr, ast.Call)
+        and isinstance(expr.func, ast.Attribute)
+        and expr.func.attr == "format"
+    ):
+        return expr
+    for child in ast.iter_child_nodes(expr):
+        found = _eager_label_construct(child)
+        if found is not None:
+            return found
+    return None
+
+
+class SpanHygieneRule(Rule):
+    """RPR007: tracer spans must close on all paths and cost nothing
+    when tracing is off.
+
+    Two checks, both derived from the ``repro.telemetry`` contract:
+
+    * ``tr.begin(...)`` with no matching ``tr.end(...)`` in the same
+      function — or with the ``end`` outside a ``finally`` block —
+      leaves the span open whenever an exception (or early return)
+      interrupts the holder.  Close in ``try/finally`` or use the
+      ``with tr.span(...)`` context manager, which guarantees it.
+    * f-string span labels evaluated outside an ``if ... tr.enabled``
+      gate pay string formatting on every call even with tracing
+      disabled — exactly the eager-name tax RPR001 exists for, on the
+      telemetry API.
+    """
+
+    code = "RPR007"
+    name = "span-hygiene"
+    summary = (
+        "tracer span opened without a guaranteed close, or eager span "
+        "label not gated behind the tracer's enabled flag"
+    )
+    sim_only = True
+
+    def _visit_function(self, node) -> None:
+        self._check_begin_end(node)
+        self.generic_visit(node)
+
+    visit_FunctionDef = _visit_function
+    visit_AsyncFunctionDef = _visit_function
+
+    def _check_begin_end(self, node) -> None:
+        begins: list[ast.Call] = []
+        ends: list[ast.Call] = []
+        for sub in _walk_scope(node):
+            if not isinstance(sub, ast.Call) or not isinstance(
+                sub.func, ast.Attribute
+            ):
+                continue
+            if not _trace_receiver(_dotted(sub.func.value)):
+                continue
+            if sub.func.attr == "begin":
+                begins.append(sub)
+            elif sub.func.attr == "end":
+                ends.append(sub)
+        for call in begins:
+            if not ends:
+                self.report(
+                    call,
+                    "span opened with begin() is never closed in this "
+                    "function; close in try/finally or use the "
+                    "`with tr.span(...)` context manager",
+                )
+            elif not all(self.ctx.in_finally(e) for e in ends):
+                self.report(
+                    call,
+                    "span close is not on all paths (an exception between "
+                    "begin() and end() leaves the span open); move the "
+                    "end() into a finally block",
+                )
+
+    def visit_Call(self, node: ast.Call) -> None:
+        func = node.func
+        if (
+            isinstance(func, ast.Attribute)
+            and func.attr in _SPAN_EMIT_METHODS
+            and _trace_receiver(_dotted(func.value))
+        ):
+            candidates = list(node.args) + [
+                kw.value for kw in node.keywords
+            ]
+            for cand in candidates:
+                eager = _eager_label_construct(cand)
+                if eager is not None and not self._enabled_gated(node):
+                    self.report(
+                        eager,
+                        "eager f-string span label; gate the emission "
+                        "behind the tracer's enabled flag",
+                    )
+                    break
+        self.generic_visit(node)
+
+    def _enabled_gated(self, call: ast.Call) -> bool:
+        """The whole call sits under an ``if ...enabled...`` branch."""
+        for anc in self.ctx.ancestors(call):
+            if isinstance(anc, (ast.If, ast.IfExp)) and (
+                _test_mentions_enabled(anc.test)
+                or _test_mentions_debug(anc.test)
+            ):
+                return True
+            if isinstance(anc, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                break
+        return False
+
+
 ALL_RULES = [
     EagerEventNameRule,
     SetIterationRule,
@@ -636,6 +793,7 @@ ALL_RULES = [
     TimeoutTriggeredRule,
     AcquireReleaseRule,
     StatsProtocolRule,
+    SpanHygieneRule,
 ]
 
 

@@ -195,7 +195,27 @@ class ProgramExecution:
             not node.computation.is_regular for node in self.low.nodes
         ):
             self.mode = DispatchMode.SEQUENTIAL
+        tr = self.sim.tracer
+        span = None
+        if tr is not None and tr.enabled:
+            span = tr.begin(
+                f"exec:{self.name}",
+                "dispatch.exec",
+                track=f"client/{self.client.name}",
+                trace_id=self.name,
+                args={
+                    "program": self.low.name,
+                    "mode": self.mode.value,
+                    "nodes": len(self.low.nodes),
+                },
+            )
+        try:
+            yield from self._drive()
+        finally:
+            if tr is not None:
+                tr.end(span)
 
+    def _drive(self) -> Generator:
         failure: Optional[BaseException] = None
         try:
             yield from self._dispatch_once(self.low.nodes, first=True)
@@ -303,7 +323,9 @@ class ProgramExecution:
         try:
             # Prep runs inline in this (already per-node) process; a
             # dedicated wrapper process would only add dispatch overhead.
+            prep_start = self.sim.now
             yield from ex.prep()
+            self._trace_prep(node, prep_start)
             self._attach_result_handles(node.node_id)
             scheduler = self.system.scheduler_for(node.group.island)
             req = scheduler.submit(
@@ -352,7 +374,9 @@ class ProgramExecution:
             yield self.sim.timeout(controller_us)
             yield self.sim.timeout(cfg.dcn_latency_us)  # controller -> host
             try:
+                prep_start = self.sim.now
                 yield from ex.prep()
+                self._trace_prep(node, prep_start)
                 self._attach_result_handles(node.node_id)
                 scheduler = self.system.scheduler_for(node.group.island)
                 req = scheduler.submit(
@@ -383,6 +407,22 @@ class ProgramExecution:
             yield self.sim.timeout(cfg.dcn_latency_us)  # handles -> controller
             if cfg.sequential_node_overhead_us > 0:
                 yield self.sim.timeout(cfg.sequential_node_overhead_us)
+
+    def _trace_prep(self, node: LowLevelNode, start_us: float) -> None:
+        """Emit the host-side prep span; ``args["exec"]`` is the join key
+        the critical-path analyzer uses to attribute prep to a served
+        request's batch execution."""
+        tr = self.sim.tracer
+        if tr is not None and tr.enabled:
+            tr.complete(
+                f"prep:{node.label}",
+                "dispatch.prep",
+                start_us,
+                self.sim.now,
+                track=f"client/{self.client.name}",
+                trace_id=self.name,
+                args={"exec": self.name, "node": node.label},
+            )
 
     # -- dataflow wiring ----------------------------------------------------
     def _wire_dataflow(self, nodes: list[LowLevelNode], seed_args: bool = True) -> None:
@@ -479,6 +519,7 @@ class ProgramExecution:
         yield producer_done
         if spec.route is TransferRoute.LOCAL or spec.nbytes == 0:
             return
+        xfer_start = self.sim.now
         if spec.route is TransferRoute.ICI:
             src_group = self.low.node(spec.src_node).group
             island = src_group.island
@@ -497,6 +538,17 @@ class ProgramExecution:
             src_host = src_group.hosts[0]
             dst_host = node.group.hosts[0]
             yield self.system.transport.send(src_host, dst_host, per_host)
+        tr = self.sim.tracer
+        if tr is not None and tr.enabled:
+            tr.complete(
+                f"xfer:{spec.src_node}->{spec.dst_node}",
+                "dispatch.transfer",
+                xfer_start,
+                self.sim.now,
+                track=f"client/{self.client.name}",
+                trace_id=self.name,
+                args={"route": spec.route.name, "nbytes": spec.nbytes},
+            )
 
     # -- completion bookkeeping ----------------------------------------------
     def _on_node_done(self, node: LowLevelNode, ev: Optional[Event] = None) -> None:
@@ -586,6 +638,15 @@ class ProgramExecution:
            results (their restore cost is paid here).
         """
         recovery = self.system.recovery
+        tr = self.sim.tracer
+        if tr is not None and tr.enabled:
+            tr.instant(
+                f"replay:{self.name}",
+                "resilience.replay",
+                track=f"client/{self.client.name}",
+                trace_id=self.name,
+                args={"attempt": self.attempts, "cause": type(cause).__name__},
+            )
         yield self.sim.all_settled(
             [self._node_done[nid] for nid in sorted(self._dispatched)]
         )

@@ -76,6 +76,10 @@ class GangRequest:
     #: Absolute sim-time grant deadline; an ungranted request past it is
     #: evicted with :class:`DeadlineExceeded` (None = wait forever).
     deadline_at_us: Optional[float] = None
+    #: Lifecycle stamps (µs) — set unconditionally (two float stores),
+    #: read only when a tracer is attached.
+    submitted_us: float = 0.0
+    granted_us: float = 0.0
     seq: int = field(default_factory=lambda: next(_request_seq))
 
 
@@ -242,6 +246,7 @@ class IslandScheduler:
             cost_us=cost_us,
             device_ids=tuple(device_ids),
             deadline_at_us=deadline_at_us,
+            submitted_us=self.sim.now,
         )
         self._incoming.push(("req", req))
         if deadline_at_us is not None:
@@ -392,6 +397,20 @@ class IslandScheduler:
                 self.stale_completions += 1
             else:
                 self._release(devices)
+                tr = self.sim.tracer
+                if tr is not None and tr.enabled:
+                    tr.complete(
+                        f"gang:{payload.node_label}",
+                        "sched.granted",
+                        payload.granted_us,
+                        self.sim.now,
+                        track=f"sched/island{self.island.island_id}",
+                        args={
+                            "client": payload.client,
+                            "program": payload.program,
+                            "devices": len(devices),
+                        },
+                    )
             self._check_drained()
         elif kind == "evict":
             device_id = payload
@@ -413,6 +432,14 @@ class IslandScheduler:
                 # enqueue order of everything still eligible holds.
                 self._pending.remove(req)
                 self.deadline_evictions += 1
+                tr = self.sim.tracer
+                if tr is not None and tr.enabled:
+                    tr.instant(
+                        f"evict:{req.node_label}",
+                        "sched.evict",
+                        track=f"sched/island{self.island.island_id}",
+                        args={"client": req.client, "reason": "deadline"},
+                    )
                 if not req.grant.triggered:
                     req.grant.fail(
                         DeadlineExceeded(req.node_label, req.deadline_at_us)
@@ -480,6 +507,17 @@ class IslandScheduler:
                 for d in choice.device_ids:
                     self._outstanding[d] = self._outstanding.get(d, 0) + 1
                 self._live_grants[choice.seq] = choice.device_ids
+                choice.granted_us = self.sim.now
+                tr = self.sim.tracer
+                if tr is not None and tr.enabled:
+                    tr.complete(
+                        f"pend:{choice.node_label}",
+                        "sched.pending",
+                        choice.submitted_us,
+                        choice.granted_us,
+                        track=f"sched/island{self.island.island_id}",
+                        args={"client": choice.client, "program": choice.program},
+                    )
                 choice.grant.succeed(None)
                 # Serialize: the winner must finish appending its kernels
                 # before anyone else is granted, preserving a single

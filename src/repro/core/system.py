@@ -93,15 +93,23 @@ class PathwaysSystem:
         disjoint_aggregate_reps: bool = False,
         debug_names: bool = False,
         log_schedule: bool = False,
+        tracer=None,
     ) -> "PathwaysSystem":
         """Create a fresh simulator + cluster + system for ``spec``.
 
         ``debug_names`` / ``log_schedule`` are forwarded to the
         :class:`~repro.sim.Simulator` (rich event names for debugging,
         and the golden-determinism schedule log, respectively).
+        ``tracer`` attaches a :class:`repro.telemetry.Tracer` to the
+        simulator; unless ``with_trace`` asks for a dedicated kernel
+        recorder, the tracer also serves as the cluster's kernel-trace
+        sink (it duck-types ``TraceRecorder``), so device kernel
+        intervals join the same span stream.
         """
-        sim = Simulator(debug_names=debug_names, log_schedule=log_schedule)
-        trace = TraceRecorder() if with_trace else None
+        sim = Simulator(
+            debug_names=debug_names, log_schedule=log_schedule, tracer=tracer
+        )
+        trace = TraceRecorder() if with_trace else tracer
         cluster = make_cluster(sim, spec, config=config, trace=trace)
         return PathwaysSystem(
             sim,

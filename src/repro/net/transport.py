@@ -641,6 +641,14 @@ class Transport:
                 msg.route = new
                 msg.reroutes += 1
                 self.reroutes += 1
+                tr = self.sim.tracer
+                if tr is not None and tr.enabled:
+                    tr.instant(
+                        f"reroute:msg#{msg.msg_id}",
+                        "net.reroute",
+                        track="net",
+                        args={"down": down.name, "reroutes": msg.reroutes},
+                    )
                 continue
             try:
                 if fair:
@@ -691,6 +699,14 @@ class Transport:
         )
         self._parked[msg] = park
         self.messages_parked += 1
+        tr = self.sim.tracer
+        if tr is not None and tr.enabled:
+            tr.instant(
+                f"park:msg#{msg.msg_id}",
+                "net.park",
+                track="net",
+                args={"src": msg.src.name, "dst": msg.dst.name},
+            )
         deadline = self.config.net_park_deadline_us
         if deadline > 0:
             self.sim.timeout(deadline).add_callback(
@@ -754,6 +770,21 @@ class Transport:
         if ev._exc is None:
             self.messages_delivered += 1
             self.bytes_delivered += msg.nbytes
+            tr = self.sim.tracer
+            if tr is not None and tr.enabled:
+                tr.complete(
+                    f"msg#{msg.msg_id}",
+                    "net.msg",
+                    msg.sent_at_us,
+                    self.sim.now,
+                    track="net",
+                    args={
+                        "src": msg.src.name,
+                        "dst": msg.dst.name,
+                        "nbytes": msg.nbytes,
+                        "reroutes": msg.reroutes,
+                    },
+                )
         else:
             self._count_loss(msg, ev._exc)
 
@@ -761,6 +792,18 @@ class Transport:
         self.messages_lost += 1
         category = getattr(cause, "category", "other")
         self.lost_by_reason[category] = self.lost_by_reason.get(category, 0) + 1
+        tr = self.sim.tracer
+        if tr is not None and tr.enabled:
+            tr.instant(
+                f"lost:msg#{msg.msg_id}",
+                "net.lost",
+                track="net",
+                args={
+                    "src": msg.src.name,
+                    "dst": msg.dst.name,
+                    "category": getattr(cause, "category", "other"),
+                },
+            )
         for fn in self._loss_listeners:
             fn(msg, cause)
 

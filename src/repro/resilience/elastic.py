@@ -80,6 +80,21 @@ class ElasticController:
         system.resource_manager.subscribe_capacity(self._on_capacity)
         system.resource_manager.subscribe_release(self._on_release)
 
+    def stats(self):
+        """Frozen controller snapshot (unified ``repro.stats`` protocol)."""
+        from repro.stats import ElasticStats
+
+        return ElasticStats(
+            drains_started=self.drains_started,
+            handbacks=self.handbacks,
+            notices=self.notices,
+            capacity_events=self.capacity_events,
+            workloads=len(self.workloads),
+            draining_now=sum(
+                1 for ev in self._draining.values() if not ev.triggered
+            ),
+        )
+
     # -- workload registry ---------------------------------------------------
     def register(self, workload) -> None:
         """Attach an elastic workload; sets ``workload.elastic = self``."""

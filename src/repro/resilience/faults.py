@@ -213,6 +213,20 @@ class FaultInjector:
         """Cancel any not-yet-injected faults (engine cancel path)."""
         self._proc.cancel()
 
+    def stats(self):
+        """Frozen injector snapshot (unified ``repro.stats`` protocol)."""
+        from repro.stats import FaultInjectorStats
+
+        by_kind: dict[str, int] = {}
+        for event in self.injected:
+            by_kind[event.kind.value] = by_kind.get(event.kind.value, 0) + 1
+        return FaultInjectorStats(
+            scheduled=len(self.schedule),
+            injected=len(self.injected),
+            remaining=len(self.schedule) - len(self.injected),
+            injected_by_kind=by_kind,
+        )
+
     def _run(self) -> Generator:
         sim = self.recovery.sim
         for event in self.schedule:
@@ -221,3 +235,15 @@ class FaultInjector:
                 yield sim.timeout(delay)
             self.recovery.inject(event)
             self.injected.append(event)
+            tr = sim.tracer
+            if tr is not None and tr.enabled:
+                tr.instant(
+                    f"fault:{event.kind.value}",
+                    "fault.injected",
+                    track="faults",
+                    args={
+                        "kind": event.kind.value,
+                        "target": event.link or event.target,
+                        "repair_us": event.repair_us,
+                    },
+                )

@@ -135,6 +135,12 @@ class ContinuousBatcher:
         )
         replica.batches += 1
         replica.in_flight_requests += len(batch)
+        tr = sim.tracer
+        if tr is not None and tr.enabled:
+            # Link every rider to its batch execution so the critical-
+            # path analyzer can attribute the batch's prep span.
+            for r in batch:
+                r.batch_label = execution.name
         # The settled marker is what the loop (and the retire path)
         # waits on: unlike `finished`, it can never raise.
         marker = sim.all_settled([execution.finished])
@@ -152,11 +158,29 @@ class ContinuousBatcher:
         replica.in_flight_requests -= len(batch)
         execution.release_results()
         if ev._exc is None:
+            outcome = "served"
             replica.requests_served += len(batch)
             self.frontend.complete_batch(batch, replica)
         elif execution.deadline_exceeded:
             # The scheduler evicted the gang past its deadline: typed
             # rejection (the PR-4 path), not an abandon.
+            outcome = "deadline-evicted"
             self.frontend.reject_batch(batch, REJECT_EVICTED)
         else:
+            outcome = "abandoned"
             self.frontend.abandon_batch(batch, ev._exc)
+        tr = self.sim.tracer
+        if tr is not None and tr.enabled:
+            tr.complete(
+                f"batch[{len(batch)}]",
+                "serve.batch",
+                batch[0].batched_us,
+                self.sim.now,
+                track=f"batcher/{replica.name}",
+                args={
+                    "exec": execution.name,
+                    "requests": [r.req_id for r in batch],
+                    "outcome": outcome,
+                    "replica": replica.name,
+                },
+            )

@@ -82,6 +82,10 @@ class Request:
     completed_us: float = 0.0   # response delivered to the caller
     #: Device-compute share of its batch (analytic).
     compute_us: float = 0.0
+    #: The batch execution that served it (tracing only; links the
+    #: request span to its batch's dispatch spans for critical-path
+    #: prep attribution).
+    batch_label: str = ""
     #: Terminal rejection reason (None while live / on completion).
     rejected: Optional[str] = None
     #: True when the request died to a non-deadline failure.
@@ -244,6 +248,31 @@ class Frontend:
         req.completed_us = self.sim.now
         self.completed += 1
         self.recorder.record(req)
+        tr = self.sim.tracer
+        if tr is not None and tr.enabled:
+            # The causal request span: every lifecycle stamp rides along
+            # so the critical-path analyzer can decompose the latency
+            # into stages that sum exactly to completed - arrival.
+            tr.complete(
+                f"request#{req.req_id}",
+                "serve.request",
+                req.arrival_us,
+                req.completed_us,
+                track="serve",
+                trace_id=f"req{req.req_id}",
+                args={
+                    "req": req.req_id,
+                    "arrival": req.arrival_us,
+                    "received": req.received_us,
+                    "admitted": req.admitted_us,
+                    "batched": req.batched_us,
+                    "done": req.done_us,
+                    "completed": req.completed_us,
+                    "compute": req.compute_us,
+                    "batch": req.batch_label,
+                    "tokens": req.tokens,
+                },
+            )
         self._settle(req)
 
     def reject_expired(self, req: Request) -> None:
@@ -267,6 +296,15 @@ class Frontend:
     def _reject(self, req: Request, reason: str) -> None:
         req.rejected = reason
         self.rejections[reason] = self.rejections.get(reason, 0) + 1
+        tr = self.sim.tracer
+        if tr is not None and tr.enabled:
+            tr.instant(
+                f"reject:{reason}",
+                "serve.reject",
+                track="serve",
+                trace_id=f"req{req.req_id}",
+                args={"req": req.req_id, "reason": reason},
+            )
         self._settle(req)
 
     # -- drain bookkeeping ----------------------------------------------------

@@ -18,9 +18,13 @@ per-stage breakdown of where the time went:
 
 from __future__ import annotations
 
-import math
 from dataclasses import dataclass
-from typing import Sequence, TYPE_CHECKING
+from typing import TYPE_CHECKING
+
+# The shared nearest-rank implementation (repro.telemetry.histogram) —
+# re-exported here because serving callers historically import it from
+# this module.
+from repro.telemetry.histogram import percentile
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.serve.frontend import Request
@@ -29,17 +33,6 @@ __all__ = ["LatencyRecorder", "LatencySnapshot", "STAGES", "percentile"]
 
 #: Stage keys, in pipeline order.
 STAGES = ("net", "queue", "dispatch", "compute")
-
-
-def percentile(values: Sequence[float], q: float) -> float:
-    """Nearest-rank percentile (``q`` in [0, 100]); 0.0 when empty."""
-    vals = sorted(values)
-    if not vals:
-        return 0.0
-    if q <= 0.0:
-        return vals[0]
-    rank = min(len(vals), max(1, math.ceil(q / 100.0 * len(vals))))
-    return vals[rank - 1]
 
 
 @dataclass(frozen=True)

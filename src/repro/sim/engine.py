@@ -30,6 +30,7 @@ from typing import Any, Callable, Generator, Iterable, Optional, Union
 from repro.sim.sanitize import (
     DoubleTriggerError,
     PendingTimeoutReadError,
+    SanitizerError,
     SimSanitizer,
     sanitize_from_env,
 )
@@ -1216,8 +1217,16 @@ class Simulator:
         log_schedule: bool = False,
         timer_queue: Optional[str] = None,
         sanitize: Optional[bool] = None,
+        tracer=None,
     ) -> None:
         self._now: float = 0.0
+        #: Optional :class:`repro.telemetry.Tracer`.  Capture is a
+        #: passive append (instrumentation sites read ``sim.now``, never
+        #: create events), so schedules are byte-identical with tracing
+        #: on/off; ``None`` costs one attribute check per site.
+        self.tracer = tracer
+        if tracer is not None:
+            tracer.bind(self)
         if sanitize is None:
             sanitize = sanitize_from_env()
         #: Runtime invariant checking (see :mod:`repro.sim.sanitize`).
@@ -1488,7 +1497,16 @@ class Simulator:
             # Natural drain: every instrumented resource/fabric must be
             # quiescent — no stranded waiters, held slots, or link
             # capacity.  Raises a typed SanitizerError naming the leak.
-            self.sanitizer.check_drained(self)
+            try:
+                self.sanitizer.check_drained(self)
+            except SanitizerError:
+                tr = self.tracer
+                if tr is not None and tr.flight is not None:
+                    # Post-mortem: the flight recorder's bounded ring of
+                    # recent spans/instants, dumped before the typed
+                    # error propagates.
+                    tr.flight.dump(reason="SanitizerError at drain")
+                raise
         return self._now
 
     def run_until_triggered(self, event: Event, limit: Optional[float] = None) -> Any:

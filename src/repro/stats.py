@@ -29,7 +29,9 @@ from typing import Any, Optional
 
 __all__ = [
     "ClientStats",
+    "ElasticStats",
     "FabricStats",
+    "FaultInjectorStats",
     "RecoveryStats",
     "SchedulerStats",
     "ServeStats",
@@ -164,6 +166,30 @@ class RecoveryStats(Stats):
     #: Fabric links taken down (LINK_DOWN faults and direct
     #: ``take_link_down`` calls); restores count into ``repairs``.
     link_faults: int = 0
+
+
+@dataclass(frozen=True)
+class ElasticStats(Stats):
+    """Elastic-controller counters (``ElasticController.stats()``)."""
+
+    drains_started: int
+    handbacks: int
+    notices: int
+    capacity_events: int
+    #: Registered elastic workloads right now.
+    workloads: int
+    #: Islands mid-drain (handback not fired yet).
+    draining_now: int
+
+
+@dataclass(frozen=True)
+class FaultInjectorStats(Stats):
+    """Fault-schedule delivery progress (``FaultInjector.stats()``)."""
+
+    scheduled: int
+    injected: int
+    remaining: int
+    injected_by_kind: dict = field(default_factory=dict)
 
 
 @dataclass(frozen=True)

@@ -1,0 +1,58 @@
+"""repro.telemetry — schedule-neutral, pay-as-you-go observability.
+
+Three cooperating parts over one span stream:
+
+* **Causal span tracing** (:class:`Tracer`, :class:`Span`) — request/
+  program-scoped spans captured passively through the serve frontend,
+  scheduler, dispatch, ``repro.net``, and resilience layers; exported
+  as Chrome-trace/Perfetto JSON, analyzed by the critical-path CLI
+  (``python -m repro.telemetry critpath``), and rendered by the
+  existing ``repro.trace`` ASCII timeline via
+  :meth:`Tracer.to_trace_recorder`.
+* **Metrics registry** (:class:`MetricsRegistry`,
+  :class:`MetricsSampler`) — counters/gauges/probes/histograms sampled
+  on a sim-time ticker into exportable time-series.
+* **Flight recorder** (:class:`FlightRecorder`) — a bounded ring of
+  recent observations, dumped automatically on ``SanitizerError`` or
+  the first typed message loss.
+
+Tracing creates **no** sim events (golden schedules are byte-identical
+with tracing on/off); the sampler creates exactly one ticker and is a
+separate opt-in.
+"""
+
+from repro.telemetry.critpath import (
+    STAGES,
+    RequestPath,
+    critical_paths,
+    render_report,
+    summarize,
+)
+from repro.telemetry.flight import FlightRecorder
+from repro.telemetry.histogram import Histogram, percentile
+from repro.telemetry.metrics import (
+    Counter,
+    Gauge,
+    MetricsRegistry,
+    MetricsSampler,
+    standard_probes,
+)
+from repro.telemetry.spans import Span, Tracer
+
+__all__ = [
+    "Counter",
+    "FlightRecorder",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "MetricsSampler",
+    "RequestPath",
+    "STAGES",
+    "Span",
+    "Tracer",
+    "critical_paths",
+    "percentile",
+    "render_report",
+    "standard_probes",
+    "summarize",
+]

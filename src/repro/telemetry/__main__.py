@@ -1,0 +1,62 @@
+"""``python -m repro.telemetry`` — span-stream analysis CLI.
+
+Subcommands:
+
+* ``critpath trace.json`` — per-request latency decomposition
+  (admission/queue/batch/prep/compute/net, summing exactly to each
+  request's end-to-end latency) plus the aggregate attribution;
+  ``--json`` emits machine-readable output, ``--limit N`` bounds the
+  per-request table.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+from repro.telemetry.critpath import critical_paths, render_report, summarize
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.telemetry",
+        description="Analyze exported repro.telemetry trace files.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+    crit = sub.add_parser(
+        "critpath",
+        help="decompose per-request latency into causal stages",
+    )
+    crit.add_argument("trace", help="Chrome-trace JSON from Tracer.write_chrome_trace")
+    crit.add_argument("--json", action="store_true", dest="as_json")
+    crit.add_argument("--limit", type=int, default=20)
+    args = parser.parse_args(argv)
+
+    with open(args.trace, encoding="utf-8") as fh:
+        trace = json.load(fh)
+    paths = critical_paths(trace)
+    if args.as_json:
+        doc = {
+            "requests": [
+                {
+                    "req": p.req_id,
+                    "total_us": p.total_us,
+                    "stages": p.stages,
+                    "batch": p.batch_label,
+                }
+                for p in paths
+            ],
+            "summary": summarize(paths),
+        }
+        print(json.dumps(doc, indent=2, sort_keys=True))
+    else:
+        if not paths:
+            print("no completed request spans in trace")
+            return 1
+        print(render_report(paths, limit=args.limit))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

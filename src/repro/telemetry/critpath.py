@@ -1,0 +1,163 @@
+"""Critical-path analysis: where did a served request's latency go?
+
+Consumes an exported Chrome-trace JSON (``Tracer.to_chrome_trace`` /
+``write_chrome_trace``) and decomposes every completed request's
+end-to-end latency into six stages that **sum exactly** to the measured
+total — the acceptance property the tests pin:
+
+* ``net``       — request + response legs over the fabric:
+                  ``(received − arrival) + (completed − done)``;
+* ``admission`` — delivery → admission decision;
+* ``queue``     — admitted, waiting for its batch to close;
+* ``compute``   — the request's analytic device-compute share;
+* ``prep``      — its batch's host-side input prep (joined from the
+                  batch's ``dispatch.prep`` span via the batch label);
+* ``batch``     — the remainder of the batch-execution window: grant
+                  wait, gang launch, transfers — everything between
+                  submission and completion that is neither prep nor
+                  compute.
+
+Exactness is by construction: ``prep`` is clamped into the execution
+window's residual and ``batch`` is defined as what remains, so
+``sum(stages) == completed − arrival`` to the last float bit.
+
+CLI: ``python -m repro.telemetry critpath trace.json`` (per-request
+table + aggregate attribution; ``--json`` for machine output).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["RequestPath", "STAGES", "critical_paths", "render_report", "summarize"]
+
+#: Stage keys, in causal order.
+STAGES = ("net", "admission", "queue", "prep", "batch", "compute")
+
+
+@dataclass(frozen=True)
+class RequestPath:
+    """One completed request's exact latency decomposition (µs)."""
+
+    req_id: int
+    total_us: float
+    stages: dict
+    batch_label: str = ""
+
+    @property
+    def dominant(self) -> str:
+        return max(STAGES, key=lambda s: self.stages[s])
+
+
+def _request_events(trace: dict) -> list[dict]:
+    return [
+        ev
+        for ev in trace.get("traceEvents", ())
+        if ev.get("cat") == "serve.request" and ev.get("ph") == "X"
+    ]
+
+
+def _prep_by_exec(trace: dict) -> dict[str, float]:
+    """Batch-execution label -> its host-side prep duration (µs)."""
+    preps: dict[str, float] = {}
+    for ev in trace.get("traceEvents", ()):
+        if ev.get("cat") == "dispatch.prep" and ev.get("ph") == "X":
+            label = (ev.get("args") or {}).get("exec", "")
+            if label:
+                preps[label] = preps.get(label, 0.0) + float(ev.get("dur", 0.0))
+    return preps
+
+
+def critical_paths(trace: dict) -> list[RequestPath]:
+    """Every completed request's stage decomposition, in request order."""
+    preps = _prep_by_exec(trace)
+    paths: list[RequestPath] = []
+    for ev in _request_events(trace):
+        args = ev.get("args") or {}
+        arrival = float(args["arrival"])
+        received = float(args["received"])
+        admitted = float(args["admitted"])
+        batched = float(args["batched"])
+        done = float(args["done"])
+        completed = float(args["completed"])
+        compute = float(args.get("compute", 0.0))
+        batch_label = args.get("batch", "")
+
+        total = completed - arrival
+        net = (received - arrival) + (completed - done)
+        admission = admitted - received
+        queue = batched - admitted
+        window = done - batched
+        # The execution window splits into compute + prep + residual;
+        # clamp so every stage stays non-negative and the sum stays
+        # exact even if the analytic compute share slightly exceeds the
+        # measured window (gang-shared kernels can overlap).
+        compute = min(compute, window)
+        residual = window - compute
+        prep = min(preps.get(batch_label, 0.0), residual)
+        batch = residual - prep
+        paths.append(
+            RequestPath(
+                req_id=int(args.get("req", 0)),
+                total_us=total,
+                stages={
+                    "net": net,
+                    "admission": admission,
+                    "queue": queue,
+                    "prep": prep,
+                    "batch": batch,
+                    "compute": compute,
+                },
+                batch_label=batch_label,
+            )
+        )
+    return paths
+
+
+def summarize(paths: list[RequestPath]) -> dict:
+    """Aggregate attribution: per-stage mean µs and share of total."""
+    n = len(paths)
+    if n == 0:
+        return {"requests": 0, "mean_total_us": 0.0, "stage_mean_us": {}, "stage_share": {}}
+    total = sum(p.total_us for p in paths)
+    stage_sums = {s: sum(p.stages[s] for p in paths) for s in STAGES}
+    return {
+        "requests": n,
+        "mean_total_us": total / n,
+        "stage_mean_us": {s: stage_sums[s] / n for s in STAGES},
+        "stage_share": {
+            s: (stage_sums[s] / total if total > 0 else 0.0) for s in STAGES
+        },
+    }
+
+
+def render_report(paths: list[RequestPath], limit: int = 20) -> str:
+    """Human-readable critical-path report (the CLI's text output)."""
+    lines: list[str] = []
+    header = (
+        f"{'req':>6s} {'total':>10s} "
+        + " ".join(f"{s:>10s}" for s in STAGES)
+        + "  dominant"
+    )
+    lines.append(header)
+    lines.append("-" * len(header))
+    for p in paths[:limit]:
+        lines.append(
+            f"{p.req_id:>6d} {p.total_us:>10.1f} "
+            + " ".join(f"{p.stages[s]:>10.1f}" for s in STAGES)
+            + f"  {p.dominant}"
+        )
+    if len(paths) > limit:
+        lines.append(f"... ({len(paths) - limit} more requests)")
+    agg = summarize(paths)
+    lines.append("")
+    lines.append(
+        f"{agg['requests']} requests, mean end-to-end "
+        f"{agg['mean_total_us']:.1f}us; attribution:"
+    )
+    for s in STAGES:
+        lines.append(
+            f"  {s:<10s} {agg['stage_mean_us'].get(s, 0.0):>10.1f}us mean  "
+            f"{agg['stage_share'].get(s, 0.0):>6.1%} of total latency"
+        )
+    return "\n".join(lines)

@@ -175,6 +175,7 @@ def run_net_congestion(
     config: SystemConfig = DEFAULT_CONFIG,
     debug_names: bool = False,
     log_schedule: bool = False,
+    tracer=None,
 ) -> NetCongestionResult:
     """Two islands; bulk senders on island 0 push to island 1 while a
     probe tenant dispatches cross-island programs.
@@ -210,6 +211,7 @@ def run_net_congestion(
         config=config,
         debug_names=debug_names,
         log_schedule=log_schedule,
+        tracer=tracer,
     )
     recovery = RecoveryManager(system, detection_us=200.0)
     sim = system.sim

@@ -229,6 +229,7 @@ def run_serving(
     config: SystemConfig = DEFAULT_CONFIG,
     debug_names: bool = False,
     log_schedule: bool = False,
+    tracer=None,
 ) -> ServingResult:
     """One open-loop serving run; drives the simulator to completion.
 
@@ -239,7 +240,9 @@ def run_serving(
     ``min_replicas`` (default: the initial width) and ``max_replicas``.
     ``fail_replica_at`` injects a device failure under replica 0 at that
     time (repaired ``repair_us`` later) — the replica-loss drill: the
-    in-flight batch replays through the recovery path.
+    in-flight batch replays through the recovery path.  ``tracer``
+    attaches a :class:`repro.telemetry.Tracer` (schedule-neutral: the
+    run's event schedule is byte-identical with or without it).
     """
     total_devices = islands * hosts_per_island * devices_per_host
     if n_replicas * devices_per_replica > total_devices:
@@ -259,6 +262,7 @@ def run_serving(
         policy=EarliestDeadlinePolicy(),
         debug_names=debug_names,
         log_schedule=log_schedule,
+        tracer=tracer,
     )
     recovery = RecoveryManager(system, detection_us=500.0)
     ElasticController(system)

@@ -29,8 +29,9 @@ BAD_FIXTURES = {
     "rpr004_bad.py": ("RPR004", 2),
     "rpr005_bad.py": ("RPR005", 2),
     "rpr006_bad.py": ("RPR006", 2),
+    "rpr007_bad.py": ("RPR007", 3),
 }
-GOOD_FIXTURES = [f"rpr00{i}_good.py" for i in range(1, 7)]
+GOOD_FIXTURES = [f"rpr00{i}_good.py" for i in range(1, 8)]
 
 
 def _check_fixture(name: str):

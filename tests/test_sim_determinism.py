@@ -250,6 +250,75 @@ class TestGoldenServing:
         assert r_plain.p99_us == r_named.p99_us
 
 
+class TestGoldenTracing:
+    """Tracing is schedule-neutral: attaching a live Tracer must leave
+    the golden schedule byte-identical — spans are passive appends, so
+    the run with tracing on replays the run with tracing off exactly."""
+
+    def _traced(self, run_fn, kwargs):
+        from repro.telemetry import Tracer
+
+        tracer = Tracer()
+        result = run_fn(log_schedule=True, tracer=tracer, **kwargs)
+        sim = result.system_handle.sim
+        schedule = [
+            (t, seq, re.sub(r"#\d+", "#N", name))
+            for seq, (t, name) in enumerate(sim.schedule_log)
+        ]
+        return schedule, result, tracer
+
+    def test_serving_fault_drill_schedule_neutral(self):
+        base, r_off = _golden_serve_run(debug_names=False)
+        traced, r_on, tracer = self._traced(run_serving, SERVE_KWARGS)
+        assert base == traced
+        assert r_off.completed == r_on.completed
+        assert r_off.p99_us == r_on.p99_us
+        # The tracer really captured the stack while staying neutral.
+        cats = {s.cat for s in tracer.spans}
+        assert "serve.request" in cats and "dispatch.prep" in cats
+        assert "sched.granted" in cats and "net.msg" in cats
+
+    def test_contended_fabric_schedule_neutral(self):
+        base, r_off = _golden_net_run(debug_names=False)
+        traced, r_on, tracer = self._traced(run_net_congestion, NET_KWARGS)
+        assert base == traced
+        assert r_off.bytes_delivered == r_on.bytes_delivered
+        assert r_off.messages_lost == r_on.messages_lost
+        # The crash drill loses messages: the typed-loss instants fired.
+        assert any(s.cat == "net.lost" for s in tracer.spans)
+
+    def test_ecmp_reroute_schedule_neutral(self):
+        base, r_off = _golden_ecmp_run(debug_names=False)
+        traced, r_on, tracer = self._traced(run_net_congestion, ECMP_KWARGS)
+        assert base == traced
+        assert r_off.reroutes == r_on.reroutes
+        assert any(s.cat == "net.reroute" for s in tracer.spans)
+        assert any(s.cat == "fault.injected" for s in tracer.spans)
+
+    def test_perfetto_export_matches_chrome_trace_shape(self):
+        """The exported JSON is loadable by Perfetto/chrome://tracing:
+        a ``traceEvents`` list whose rows carry the event-format keys."""
+        _, _, tracer = self._traced(run_serving, SERVE_KWARGS)
+        doc = tracer.to_chrome_trace()
+        events = doc["traceEvents"]
+        assert isinstance(events, list) and events
+        phases = {e["ph"] for e in events}
+        assert phases <= {"X", "i", "M"}
+        assert {"X", "i", "M"} <= phases  # spans, instants, track names
+        for e in events:
+            assert isinstance(e["name"], str) and e["name"]
+            assert isinstance(e["pid"], int) and isinstance(e["tid"], int)
+            if e["ph"] == "M":
+                assert e["name"] == "thread_name"
+                assert isinstance(e["args"]["name"], str)
+                continue
+            assert isinstance(e["ts"], float) and e["ts"] >= 0.0
+            if e["ph"] == "X":
+                assert isinstance(e["dur"], float) and e["dur"] >= 0.0
+            else:
+                assert e["s"] == "t"
+
+
 class TestHotPathPrimitives:
     def test_settled_counts_failures_as_settled(self, sim):
         good, bad = sim.event(), sim.event()
